@@ -1,0 +1,13 @@
+//! Distributed transactions (§4): optimistic concurrency control with
+//! two-phase commit, "following the design used by other systems [FaSST,
+//! TAPIR]". A coordinator runs the four-phase protocol against participants
+//! holding an extendible-hashtable datastore; a host-pinned logging actor
+//! persists the coordinator log.
+
+pub mod actors;
+pub mod store;
+pub mod txn;
+
+pub use actors::{deploy_dt, CoordinatorActor, DtDeployment, LoggingActor, ParticipantActor};
+pub use store::ExtHashTable;
+pub use txn::{Coordinator, CoordinatorLog, Participant, TxnPhase};

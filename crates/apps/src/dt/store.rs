@@ -1,0 +1,308 @@
+//! The participants' datastore: "a traditional extensible hashtable"
+//! (§4, citing uthash) with per-key versions and locks for OCC.
+//!
+//! This is a real extendible-hashing implementation: a directory of bucket
+//! pointers indexed by the low `global_depth` bits of the hash; overflowing
+//! buckets split and the directory doubles as needed.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A stored record: value + OCC metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Current value.
+    pub value: Vec<u8>,
+    /// Version, bumped on every committed write.
+    pub version: u64,
+    /// Lock owner (a transaction id), if locked.
+    pub locked_by: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket<K> {
+    local_depth: u32,
+    items: Vec<(K, Record)>,
+}
+
+/// An extendible hashtable with per-key OCC metadata.
+#[derive(Debug)]
+pub struct ExtHashTable<K> {
+    directory: Vec<usize>,
+    buckets: Vec<Bucket<K>>,
+    global_depth: u32,
+    bucket_cap: usize,
+    len: usize,
+}
+
+fn hash_of<K: Hash>(k: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+impl<K: Hash + Eq + Clone> Default for ExtHashTable<K> {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl<K: Hash + Eq + Clone> ExtHashTable<K> {
+    /// Table with the given bucket capacity.
+    pub fn new(bucket_cap: usize) -> Self {
+        assert!(bucket_cap >= 1);
+        ExtHashTable {
+            directory: vec![0, 1],
+            buckets: vec![
+                Bucket {
+                    local_depth: 1,
+                    items: Vec::new(),
+                },
+                Bucket {
+                    local_depth: 1,
+                    items: Vec::new(),
+                },
+            ],
+            global_depth: 1,
+            bucket_cap,
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current directory depth (diagnostics).
+    pub fn global_depth(&self) -> u32 {
+        self.global_depth
+    }
+
+    fn dir_index(&self, k: &K) -> usize {
+        (hash_of(k) & ((1u64 << self.global_depth) - 1)) as usize
+    }
+
+    fn bucket_of(&self, k: &K) -> usize {
+        self.directory[self.dir_index(k)]
+    }
+
+    /// Read a record.
+    pub fn get(&self, k: &K) -> Option<&Record> {
+        let b = &self.buckets[self.bucket_of(k)];
+        b.items.iter().find(|(key, _)| key == k).map(|(_, r)| r)
+    }
+
+    /// Mutable access to a record (lock/unlock, version bumps).
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut Record> {
+        let bi = self.bucket_of(k);
+        self.buckets[bi]
+            .items
+            .iter_mut()
+            .find(|(key, _)| key == k)
+            .map(|(_, r)| r)
+    }
+
+    /// Insert or overwrite a record. Overwrites preserve nothing (used for
+    /// loading); committed writes should use [`ExtHashTable::commit_write`].
+    pub fn insert(&mut self, k: K, value: Vec<u8>) {
+        if let Some(r) = self.get_mut(&k) {
+            r.value = value;
+            r.version += 1;
+            return;
+        }
+        self.len += 1;
+        let mut bi = self.bucket_of(&k);
+        while self.buckets[bi].items.len() >= self.bucket_cap {
+            self.split(bi);
+            bi = self.bucket_of(&k);
+        }
+        self.buckets[bi].items.push((
+            k,
+            Record {
+                value,
+                version: 1,
+                locked_by: None,
+            },
+        ));
+    }
+
+    /// Apply a committed OCC write: set value, bump version, release lock.
+    pub fn commit_write(&mut self, k: &K, value: Vec<u8>, txid: u64) -> bool {
+        match self.get_mut(k) {
+            Some(r) if r.locked_by == Some(txid) => {
+                r.value = value;
+                r.version += 1;
+                r.locked_by = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Try to lock a key for `txid`. Fails if absent or already locked by a
+    /// different transaction.
+    pub fn try_lock(&mut self, k: &K, txid: u64) -> bool {
+        match self.get_mut(k) {
+            Some(r) => match r.locked_by {
+                None => {
+                    r.locked_by = Some(txid);
+                    true
+                }
+                Some(owner) => owner == txid,
+            },
+            None => false,
+        }
+    }
+
+    /// Release a lock held by `txid`.
+    pub fn unlock(&mut self, k: &K, txid: u64) {
+        if let Some(r) = self.get_mut(k) {
+            if r.locked_by == Some(txid) {
+                r.locked_by = None;
+            }
+        }
+    }
+
+    fn split(&mut self, bi: usize) {
+        let local = self.buckets[bi].local_depth;
+        if local == self.global_depth {
+            // Double the directory.
+            let old = self.directory.clone();
+            self.directory.extend_from_slice(&old);
+            self.global_depth += 1;
+            assert!(self.global_depth <= 40, "runaway directory growth");
+        }
+        let new_local = local + 1;
+        self.buckets[bi].local_depth = new_local;
+        let sibling = self.buckets.len();
+        self.buckets.push(Bucket {
+            local_depth: new_local,
+            items: Vec::new(),
+        });
+        // Re-point directory entries whose new_local-th bit is set.
+        let bit = 1u64 << local;
+        for (idx, slot) in self.directory.iter_mut().enumerate() {
+            if *slot == bi && (idx as u64 & bit) != 0 {
+                *slot = sibling;
+            }
+        }
+        // Redistribute items.
+        let items = std::mem::take(&mut self.buckets[bi].items);
+        for (k, r) in items {
+            let target = self.directory[(hash_of(&k) & ((1u64 << self.global_depth) - 1)) as usize];
+            self.buckets[target].items.push((k, r));
+        }
+    }
+
+    /// Iterate all (key, record) pairs (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Record)> {
+        // Each bucket appears multiple times in the directory; iterate the
+        // bucket list itself.
+        self.buckets.iter().flat_map(|b| b.items.iter().map(|(k, r)| (k, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t: ExtHashTable<u64> = ExtHashTable::new(4);
+        t.insert(1, b"a".to_vec());
+        t.insert(2, b"b".to_vec());
+        assert_eq!(t.get(&1).unwrap().value, b"a");
+        assert_eq!(t.get(&1).unwrap().version, 1);
+        t.insert(1, b"a2".to_vec());
+        assert_eq!(t.get(&1).unwrap().value, b"a2");
+        assert_eq!(t.get(&1).unwrap().version, 2);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&3).is_none());
+    }
+
+    #[test]
+    fn directory_doubles_under_load() {
+        let mut t: ExtHashTable<u64> = ExtHashTable::new(4);
+        for i in 0..2000u64 {
+            t.insert(i, i.to_le_bytes().to_vec());
+        }
+        assert_eq!(t.len(), 2000);
+        assert!(t.global_depth() > 5, "depth={}", t.global_depth());
+        for i in 0..2000u64 {
+            assert_eq!(t.get(&i).unwrap().value, i.to_le_bytes().to_vec(), "key {i}");
+        }
+    }
+
+    #[test]
+    fn occ_lock_protocol() {
+        let mut t: ExtHashTable<u64> = ExtHashTable::new(4);
+        t.insert(5, b"v".to_vec());
+        assert!(t.try_lock(&5, 100));
+        assert!(t.try_lock(&5, 100), "re-lock by owner is idempotent");
+        assert!(!t.try_lock(&5, 200), "other txn must fail");
+        // Commit bumps version and unlocks.
+        assert!(t.commit_write(&5, b"v2".to_vec(), 100));
+        assert_eq!(t.get(&5).unwrap().version, 2);
+        assert_eq!(t.get(&5).unwrap().locked_by, None);
+        assert!(t.try_lock(&5, 200));
+        t.unlock(&5, 200);
+        assert_eq!(t.get(&5).unwrap().locked_by, None);
+        // Commit by a non-owner fails.
+        assert!(!t.commit_write(&5, b"x".to_vec(), 999));
+        // Locking a missing key fails.
+        assert!(!t.try_lock(&404, 1));
+    }
+
+    #[test]
+    fn unlock_by_non_owner_is_noop() {
+        let mut t: ExtHashTable<u64> = ExtHashTable::new(2);
+        t.insert(1, b"v".to_vec());
+        t.try_lock(&1, 7);
+        t.unlock(&1, 8);
+        assert_eq!(t.get(&1).unwrap().locked_by, Some(7));
+    }
+
+    #[test]
+    fn model_check_against_hashmap() {
+        let mut t: ExtHashTable<u64> = ExtHashTable::new(3);
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut rng = ipipe_sim::DetRng::new(17);
+        for step in 0..5000u64 {
+            let k = rng.below(500);
+            if rng.chance(0.6) {
+                let v = step.to_le_bytes().to_vec();
+                t.insert(k, v.clone());
+                model.insert(k, v);
+            } else {
+                assert_eq!(
+                    t.get(&k).map(|r| &r.value),
+                    model.get(&k),
+                    "step {step} key {k}"
+                );
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        let mut seen = 0;
+        for (k, r) in t.iter() {
+            assert_eq!(model.get(k), Some(&r.value));
+            seen += 1;
+        }
+        assert_eq!(seen, model.len());
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t: ExtHashTable<String> = ExtHashTable::default();
+        for i in 0..100 {
+            t.insert(format!("key-{i}"), vec![i as u8]);
+        }
+        assert_eq!(t.get(&"key-42".to_string()).unwrap().value, vec![42]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Distributed applications built with iPipe (§4 of the paper), plus the
+//! microbenchmark workload suite of Table 3 and the network functions of
+//! §5.7.
+//!
+//! | Module | Paper | What it contains |
+//! |---|---|---|
+//! | [`rkv`] | §4 RKV | Multi-Paxos, LSM tree (DMO Memtable, SSTables, compaction), four actors |
+//! | [`dt`] | §4 DT | OCC + two-phase commit, extendible hashtable, coordinator log, actors |
+//! | [`rta`] | §4 RTA | Thompson-NFA regex filter, sliding-window counter, top-n ranker, actors |
+//! | [`nf`] | §5.7 | software-TCAM firewall, AES-256-CTR + HMAC-SHA1 IPSec gateway |
+//! | [`micro`] | Table 3 | the eleven offloaded-workload implementations with memory instrumentation |
+//!
+//! Every data structure is a real implementation (tested against model
+//! oracles); execution *timing* comes from the `ipipe-nicsim` hardware
+//! models via the instrumentation hooks.
+
+pub mod dt;
+pub mod micro;
+pub mod nf;
+pub mod rkv;
+pub mod rta;

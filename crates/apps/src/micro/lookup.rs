@@ -1,0 +1,283 @@
+//! Lookup workloads: the LPM trie router and the wildcard-TCAM firewall
+//! bench (Table 3 rows 6 and 7).
+
+use super::{MicroWorkload, PaperRow};
+use crate::nf::tcam::{Tcam, BANK_RULES};
+use ipipe_nicsim::mem::TrackedMem;
+use ipipe_sim::DetRng;
+
+/// Longest-prefix-match router (row "Router", citing NBA): an 8-bit-stride
+/// multibit trie over IPv4 prefixes.
+pub struct LpmRouter {
+    /// nodes[n] = 256 entries of (child index | leaf next-hop).
+    nodes: Vec<[Entry; 256]>,
+    base: u64,
+    routes: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entry {
+    None,
+    /// Next-hop + originating prefix length installed at this slot.
+    Leaf(u32, u8),
+    /// Child node, plus the best (next-hop, prefix length) covering this
+    /// slot from prefixes that end at this level.
+    Node(u32, Option<(u32, u8)>),
+}
+
+impl LpmRouter {
+    /// Empty routing table.
+    pub fn new() -> LpmRouter {
+        LpmRouter {
+            nodes: vec![[Entry::None; 256]],
+            base: 0,
+            routes: 0,
+        }
+    }
+
+    /// Table 3 configuration: 100k random routes.
+    pub fn table3() -> LpmRouter {
+        let mut r = LpmRouter::new();
+        let mut rng = DetRng::new(0x10E7);
+        for i in 0..100_000u32 {
+            let len = 8 + (rng.below(17) as u8); // /8../24
+            let prefix = (rng.below(1 << 32) as u32) & prefix_mask(len);
+            r.insert(prefix, len, i);
+        }
+        r
+    }
+
+    /// Install `prefix/len -> next_hop`.
+    pub fn insert(&mut self, prefix: u32, len: u8, next_hop: u32) {
+        assert!(len >= 1 && len <= 32);
+        self.routes += 1;
+        let mut node = 0usize;
+        let mut depth = 0u8; // bits consumed
+        loop {
+            let byte = ((prefix >> (24 - depth)) & 0xFF) as usize;
+            let remaining = len - depth;
+            if remaining <= 8 {
+                // Expand the prefix across 2^(8-remaining) slots, keeping
+                // whichever covering prefix is longest per slot.
+                let span = 1usize << (8 - remaining);
+                let start = byte & !(span - 1);
+                for s in start..start + span {
+                    match self.nodes[node][s] {
+                        Entry::Node(c, best) => {
+                            if best.map(|(_, l)| len >= l).unwrap_or(true) {
+                                self.nodes[node][s] = Entry::Node(c, Some((next_hop, len)));
+                            }
+                        }
+                        Entry::Leaf(_, l) if l > len => {}
+                        _ => self.nodes[node][s] = Entry::Leaf(next_hop, len),
+                    }
+                }
+                return;
+            }
+            // Descend / create a child.
+            let child = match self.nodes[node][byte] {
+                Entry::Node(c, _) => c as usize,
+                Entry::Leaf(nh, l) => {
+                    let c = self.nodes.len();
+                    self.nodes.push([Entry::None; 256]);
+                    self.nodes[node][byte] = Entry::Node(c as u32, Some((nh, l)));
+                    c
+                }
+                Entry::None => {
+                    let c = self.nodes.len();
+                    self.nodes.push([Entry::None; 256]);
+                    self.nodes[node][byte] = Entry::Node(c as u32, None);
+                    c
+                }
+            };
+            node = child;
+            depth += 8;
+        }
+    }
+
+    /// Longest-prefix lookup; returns (next hop, trie levels touched).
+    pub fn lookup(&self, addr: u32) -> (Option<u32>, usize) {
+        let mut node = 0usize;
+        let mut best = None;
+        let mut depth = 0u8;
+        let mut levels = 0;
+        loop {
+            levels += 1;
+            let byte = ((addr >> (24 - depth)) & 0xFF) as usize;
+            match self.nodes[node][byte] {
+                Entry::None => return (best, levels),
+                Entry::Leaf(nh, _) => return (Some(nh), levels),
+                Entry::Node(c, nh) => {
+                    if let Some((h, _)) = nh {
+                        best = Some(h);
+                    }
+                    node = c as usize;
+                    depth += 8;
+                    if depth >= 32 {
+                        return (best, levels);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes installed.
+    pub fn routes(&self) -> usize {
+        self.routes
+    }
+}
+
+impl Default for LpmRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        !0u32 << (32 - len)
+    }
+}
+
+impl MicroWorkload for LpmRouter {
+    fn name(&self) -> &'static str {
+        "Router"
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow {
+            lat_us: 2.2,
+            ipc: 1.3,
+            mpki: 0.6,
+        }
+    }
+
+    fn setup(&mut self, mem: &mut TrackedMem, _rng: &mut DetRng) {
+        self.base = mem.alloc(self.nodes.len() as u64 * 256 * 4);
+    }
+
+    fn request(&mut self, mem: &mut TrackedMem, rng: &mut DetRng, req_bytes: u32) {
+        mem.read(self.base, (req_bytes as u64).min(64)); // parse IP header
+        let addr = rng.below(1 << 32) as u32;
+        let (_nh, levels) = self.lookup(addr);
+        // One trie-node entry per level.
+        let mut node_guess = 0u64;
+        for l in 0..levels {
+            let byte = ((addr >> (24 - 8 * l as u32).min(24)) & 0xFF) as u64;
+            mem.read(self.base + (node_guess * 256 + byte) * 4, 4);
+            node_guess = (node_guess * 131 + byte + 1) % self.nodes.len().max(1) as u64;
+        }
+        mem.work(2600); // header validation, TTL/checksum rewrite
+    }
+}
+
+/// Firewall bench (row "Firewall", citing ClickNP): the software TCAM of
+/// [`crate::nf::tcam`] with the Table 3 rule count.
+pub struct FirewallBench {
+    tcam: Tcam,
+    base: u64,
+}
+
+impl FirewallBench {
+    /// Bench over `rules` synthetic rules.
+    pub fn new(rules: usize) -> FirewallBench {
+        FirewallBench {
+            tcam: Tcam::synthetic(rules, 0xF13E),
+            base: 0,
+        }
+    }
+
+    /// Table 3 configuration: 8K rules (as in §5.7).
+    pub fn table3() -> FirewallBench {
+        FirewallBench::new(8192)
+    }
+}
+
+impl MicroWorkload for FirewallBench {
+    fn name(&self) -> &'static str {
+        "Firewall"
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow {
+            lat_us: 3.7,
+            ipc: 1.3,
+            mpki: 1.6,
+        }
+    }
+
+    fn setup(&mut self, mem: &mut TrackedMem, _rng: &mut DetRng) {
+        self.base = mem.alloc(self.tcam.len() as u64 * 24);
+    }
+
+    fn request(&mut self, mem: &mut TrackedMem, rng: &mut DetRng, req_bytes: u32) {
+        mem.read(self.base, (req_bytes as u64).min(64));
+        let pkt = self.tcam.traffic_packet(rng);
+        let (_action, banks) = self.tcam.lookup(&pkt);
+        // Stream the scanned banks (24 B per rule).
+        mem.read(self.base, (banks * BANK_RULES * 24) as u64);
+        mem.work(600 + (banks * BANK_RULES * 2) as u64); // masked compares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut r = LpmRouter::new();
+        r.insert(0x0A000000, 8, 1); // 10/8 -> 1
+        r.insert(0x0A010000, 16, 2); // 10.1/16 -> 2
+        r.insert(0x0A010100, 24, 3); // 10.1.1/24 -> 3
+        assert_eq!(r.lookup(0x0A020202).0, Some(1));
+        assert_eq!(r.lookup(0x0A010202).0, Some(2));
+        assert_eq!(r.lookup(0x0A010105).0, Some(3));
+        assert_eq!(r.lookup(0x0B000001).0, None);
+        assert_eq!(r.routes(), 3);
+    }
+
+    #[test]
+    fn lpm_matches_linear_scan_oracle() {
+        let mut rng = DetRng::new(8);
+        let mut r = LpmRouter::new();
+        let mut routes: Vec<(u32, u8, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let len = 8 + rng.below(17) as u8;
+            let prefix = (rng.below(1 << 32) as u32) & prefix_mask(len);
+            // Skip duplicate prefixes (insertion order would decide the
+            // winner and the oracle can't know it).
+            if routes.iter().any(|(p, l, _)| *l == len && *p == prefix) {
+                continue;
+            }
+            r.insert(prefix, len, i);
+            routes.push((prefix, len, i));
+        }
+        for _ in 0..2000 {
+            let addr = rng.below(1 << 32) as u32;
+            let oracle = routes
+                .iter()
+                .filter(|(p, l, _)| addr & prefix_mask(*l) == *p)
+                .max_by_key(|(_, l, _)| *l)
+                .map(|(_, _, nh)| *nh);
+            assert_eq!(r.lookup(addr).0, oracle, "addr={addr:#x}");
+        }
+    }
+
+    #[test]
+    fn lpm_default_route_catches_all() {
+        let mut r = LpmRouter::new();
+        r.insert(0, 1, 99); // 0/1
+        r.insert(0x80000000, 1, 98); // 128/1
+        assert_eq!(r.lookup(0x01020304).0, Some(99));
+        assert_eq!(r.lookup(0xFF020304).0, Some(98));
+    }
+
+    #[test]
+    fn firewall_bench_has_8k_rules() {
+        let f = FirewallBench::table3();
+        assert_eq!(f.tcam.len(), 8192);
+    }
+}

@@ -1,0 +1,216 @@
+//! The Table 3 workload suite: "a microbenchmark suite comprising of
+//! representative in-network offloaded workloads from recent literature".
+//!
+//! Each workload is a *real* implementation (tested for semantics) whose
+//! memory accesses are mirrored into the [`TrackedMem`] instrumentation
+//! arena; the Table 3 harness replays 1 KB requests through each workload
+//! on a card's cache model and derives execution latency, IPC and MPKI via
+//! [`ipipe_nicsim::cpu`].
+//!
+//! | Workload | Computation | Data structure |
+//! |---|---|---|
+//! | echo (baseline) | packet bounce | — |
+//! | flow monitor | count-min sketch | 2-D array |
+//! | KV cache | read/write/delete | hashtable |
+//! | top ranker | quicksort | 1-D array |
+//! | rate limiter | leaky bucket | FIFO |
+//! | firewall | wildcard match | TCAM |
+//! | router | LPM lookup | trie |
+//! | load balancer | Maglev LB | permutation table |
+//! | packet scheduler | pFabric | BST |
+//! | flow classifier | Naive Bayes | 2-D array |
+//! | packet replication | chain replication | linked list |
+
+mod lookup;
+mod queues;
+mod sketch;
+mod sortrank;
+mod tables;
+
+pub use lookup::{FirewallBench, LpmRouter};
+pub use queues::{ChainReplication, PFabricScheduler, RateLimiter};
+pub use sketch::{CountMinSketch, NaiveBayes};
+pub use sortrank::TopRanker;
+pub use tables::{KvCache, MaglevBalancer};
+
+use ipipe_nicsim::mem::TrackedMem;
+use ipipe_sim::DetRng;
+
+/// Table 3 reference values for one workload row (for EXPERIMENTS.md
+/// comparisons; the harness *measures* its own values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Execution latency at 1 KB requests, µs.
+    pub lat_us: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L2 misses per kilo-instruction.
+    pub mpki: f64,
+}
+
+/// A Table 3 workload.
+pub trait MicroWorkload {
+    /// Row name, exactly as in Table 3.
+    fn name(&self) -> &'static str;
+
+    /// The paper's measured numbers for this row.
+    fn paper_row(&self) -> PaperRow;
+
+    /// One-time state construction in the tracked arena.
+    fn setup(&mut self, mem: &mut TrackedMem, rng: &mut DetRng);
+
+    /// Process one request of `req_bytes` bytes.
+    fn request(&mut self, mem: &mut TrackedMem, rng: &mut DetRng, req_bytes: u32);
+}
+
+/// The echo baseline (Table 3 row 1): receives and bounces the packet; the
+/// cost is touching the payload once.
+#[derive(Debug, Default)]
+pub struct EchoBaseline {
+    buf: u64,
+    cursor: u64,
+}
+
+impl MicroWorkload for EchoBaseline {
+    fn name(&self) -> &'static str {
+        "Baseline (echo)"
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow {
+            lat_us: 1.87,
+            ipc: 1.4,
+            mpki: 0.6,
+        }
+    }
+
+    fn setup(&mut self, mem: &mut TrackedMem, _rng: &mut DetRng) {
+        // A 64-buffer packet ring (128 KB): payload touches overflow L1 and
+        // hit L2, matching the echo row's IPC/MPKI profile.
+        self.buf = mem.alloc(64 * 2048);
+    }
+
+    fn request(&mut self, mem: &mut TrackedMem, _rng: &mut DetRng, req_bytes: u32) {
+        let buf = self.buf + (self.cursor % 64) * 2048;
+        self.cursor += 1;
+        // Parse headers, touch the payload, rewrite the header.
+        mem.read(buf, req_bytes as u64);
+        mem.write(buf, 64);
+        mem.work(3400); // per-packet firmware path (WQE pop, PKO push)
+    }
+}
+
+/// All eleven workloads, in Table 3 order.
+pub fn all_workloads() -> Vec<Box<dyn MicroWorkload>> {
+    vec![
+        Box::new(EchoBaseline::default()),
+        Box::new(CountMinSketch::table3()),
+        Box::new(KvCache::table3()),
+        Box::new(TopRanker::table3()),
+        Box::new(RateLimiter::table3()),
+        Box::new(FirewallBench::table3()),
+        Box::new(LpmRouter::table3()),
+        Box::new(MaglevBalancer::table3()),
+        Box::new(PFabricScheduler::table3()),
+        Box::new(NaiveBayes::table3()),
+        Box::new(ChainReplication::table3()),
+    ]
+}
+
+/// Run `n` requests of `req_bytes` through a workload on the given card
+/// geometry and return the per-request execution profile.
+pub fn profile_workload(
+    w: &mut dyn MicroWorkload,
+    spec: &ipipe_nicsim::spec::NicSpec,
+    req_bytes: u32,
+    n: u64,
+    seed: u64,
+) -> ipipe_nicsim::cpu::ExecProfile {
+    let mut mem = TrackedMem::new(spec.cache, spec.mem);
+    let mut rng = DetRng::new(seed);
+    w.setup(&mut mem, &mut rng);
+    // Warm up, then measure.
+    for _ in 0..(n / 4).max(8) {
+        w.request(&mut mem, &mut rng, req_bytes);
+    }
+    mem.reset_profile();
+    for _ in 0..n {
+        w.request(&mut mem, &mut rng, req_bytes);
+    }
+    let total = ipipe_nicsim::cpu::ExecProfile {
+        instructions: mem.instructions(),
+        mem: mem.counters(),
+        accel_wait: ipipe_sim::SimTime::ZERO,
+    };
+    total.per_request(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipipe_nicsim::cpu::CoreModel;
+    use ipipe_nicsim::CN2350;
+
+    #[test]
+    fn registry_matches_table3_order_and_names() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Baseline (echo)",
+                "Flow monitor",
+                "KV cache",
+                "Top ranker",
+                "Rate limiter",
+                "Firewall",
+                "Router",
+                "Load balancer",
+                "Packet scheduler",
+                "Flow classifier",
+                "Packet replication",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_workload_profiles_without_panicking() {
+        let core = CoreModel::for_nic(&CN2350);
+        for mut w in all_workloads() {
+            let prof = profile_workload(w.as_mut(), &CN2350, 1024, 64, 7);
+            let r = prof.evaluate(&core);
+            assert!(
+                r.latency > ipipe_sim::SimTime::from_ns(100),
+                "{} latency {:?}",
+                w.name(),
+                r.latency
+            );
+            assert!(r.ipc > 0.01 && r.ipc <= 2.0, "{} ipc {}", w.name(), r.ipc);
+            assert!(r.mpki >= 0.0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn relative_ordering_matches_table3_shape() {
+        // Table 3's qualitative shape: ranker and classifier are the slow
+        // outliers; replication/load-balancer are among the fastest.
+        let core = CoreModel::for_nic(&CN2350);
+        let mut lat = std::collections::HashMap::new();
+        for mut w in all_workloads() {
+            let prof = profile_workload(w.as_mut(), &CN2350, 1024, 64, 7);
+            lat.insert(w.name(), prof.evaluate(&core).latency);
+        }
+        assert!(lat["Top ranker"] > lat["Load balancer"] * 4);
+        assert!(lat["Flow classifier"] > lat["KV cache"] * 4);
+        assert!(lat["Packet scheduler"] > lat["Load balancer"]);
+    }
+
+    #[test]
+    fn echo_baseline_latency_near_paper() {
+        let core = CoreModel::for_nic(&CN2350);
+        let mut w = EchoBaseline::default();
+        let prof = profile_workload(&mut w, &CN2350, 1024, 128, 7);
+        let r = prof.evaluate(&core);
+        let us = r.latency.as_us_f64();
+        assert!((us - 1.87).abs() < 1.0, "echo latency {us}us vs paper 1.87us");
+    }
+}

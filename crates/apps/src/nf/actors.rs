@@ -1,0 +1,255 @@
+//! Actor wrappers for the §5.7 network functions.
+
+use super::ipsec::IpsecGateway;
+use super::tcam::{FiveTuple, Tcam};
+use ipipe::prelude::*;
+use ipipe_nicsim::accel;
+
+/// Messages for the NF actors.
+pub enum NfMsg {
+    /// A packet header for the firewall to classify.
+    Classify(FiveTuple),
+    /// A plaintext payload for the IPSec gateway to encapsulate and forward.
+    Encrypt(Vec<u8>),
+    /// A payload for the inline data-reduction actor to compress.
+    Compress(Vec<u8>),
+}
+
+/// Firewall actor: software-TCAM classification on the NIC.
+pub struct FirewallActor {
+    tcam: Tcam,
+    /// Permitted / denied counters.
+    pub permitted: u64,
+    /// Denied packets.
+    pub denied: u64,
+}
+
+impl FirewallActor {
+    /// Firewall with the §5.7 synthetic rule set of `rules` rules.
+    pub fn new(rules: usize, seed: u64) -> FirewallActor {
+        FirewallActor {
+            tcam: Tcam::synthetic(rules, seed),
+            permitted: 0,
+            denied: 0,
+        }
+    }
+
+    /// Generate rule-correlated evaluation traffic (see
+    /// [`Tcam::traffic_packet`]).
+    pub fn traffic(rules: usize, seed: u64) -> impl FnMut(&mut ipipe_sim::DetRng) -> FiveTuple {
+        let tcam = Tcam::synthetic(rules, seed);
+        move |rng| tcam.traffic_packet(rng)
+    }
+}
+
+impl ActorLogic for FirewallActor {
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let msg = req.payload_as::<NfMsg>();
+        if let NfMsg::Classify(pkt) = *msg {
+            let (action, banks) = self.tcam.lookup(&pkt);
+            // Each 64-rule bank scan costs ~64 masked compares (~110ns/bank
+            // of ALU work on the wimpy core) plus the cache lines it drags
+            // in (one 1.5KB bank from L2/DRAM).
+            ctx.charge_work(300 + 110 * banks as u64);
+            ctx.charge(SimTime::from_ns(115) * banks as u64);
+            match action {
+                Some(true) => {
+                    self.permitted += 1;
+                    ctx.reply(req, 64, None);
+                }
+                _ => {
+                    self.denied += 1;
+                    ctx.reply(req, 64, None);
+                }
+            }
+        }
+    }
+
+    fn host_speedup(&self) -> f64 {
+        1.9 // bank scans are memory-streaming
+    }
+
+    fn state_hint_bytes(&self) -> u64 {
+        8192 * 24 // 8K rules
+    }
+}
+
+/// IPSec gateway actor: AES-256-CTR + HMAC-SHA1 via the crypto engines.
+pub struct IpsecActor {
+    gw: IpsecGateway,
+    /// Accelerator batch size (amortizes engine invocation, Table 3).
+    pub batch: u32,
+}
+
+impl IpsecActor {
+    /// Gateway with fixed demo keys.
+    pub fn new(batch: u32) -> IpsecActor {
+        IpsecActor {
+            gw: IpsecGateway::new(1, &[0xAB; 32], &[0xCD; 20]),
+            batch,
+        }
+    }
+}
+
+impl ActorLogic for IpsecActor {
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let msg = req.payload_as::<NfMsg>();
+        if let NfMsg::Encrypt(payload) = *msg {
+            let pkt = self.gw.encapsulate(&payload);
+            // Crypto engines (Table 3): AES for the cipher, SHA-1 for the
+            // ICV, amortized over the configured batch.
+            ctx.invoke_accel(&accel::AES, self.batch);
+            ctx.invoke_accel(&accel::SHA1, self.batch);
+            ctx.charge_work(350); // ESP encapsulation glue
+            ctx.reply(req, (pkt.wire_len() as u32).min(1500), None);
+        }
+    }
+
+    fn host_speedup(&self) -> f64 {
+        // Host AES-NI is *slower* than the NIC crypto engine (§2.2.3:
+        // engines beat the host by 2.5-7x), so migrating this actor hurts.
+        0.5
+    }
+
+    fn state_hint_bytes(&self) -> u64 {
+        4 * 1024
+    }
+}
+
+/// Inline data-reduction actor (implication I4): compresses payloads with
+/// the real LZ77 codec while the ZIP engine supplies timing.
+#[derive(Default)]
+pub struct CompressionActor {
+    /// Bytes in / bytes out, for the achieved reduction ratio.
+    pub bytes_in: u64,
+    /// Compressed output bytes.
+    pub bytes_out: u64,
+}
+
+impl CompressionActor {
+    /// Achieved reduction ratio so far.
+    pub fn ratio(&self) -> f64 {
+        super::compress::ratio(self.bytes_in as usize, self.bytes_out as usize)
+    }
+}
+
+impl ActorLogic for CompressionActor {
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let msg = req.payload_as::<NfMsg>();
+        if let NfMsg::Compress(payload) = *msg {
+            let compressed = super::compress::compress(&payload);
+            self.bytes_in += payload.len() as u64;
+            self.bytes_out += compressed.len() as u64;
+            // Table 3: the ZIP engine is not batchable and costs 190.9us per
+            // 1KB request — the paper's point is that compression is only
+            // worth inlining through the accelerator, scaled by payload.
+            let scaled = (payload.len() as f64 / 1024.0).max(0.1);
+            ctx.charge(SimTime::from_ns(
+                (accel::ZIP.latency(1).as_ns() as f64 * scaled) as u64,
+            ));
+            ctx.charge_work(300);
+            ctx.reply(req, (compressed.len() as u32 + 42).min(1500), None);
+        }
+    }
+
+    fn host_speedup(&self) -> f64 {
+        // Host software compression is ~2x the engine (estimated, Table 3).
+        0.5
+    }
+
+    fn state_hint_bytes(&self) -> u64 {
+        64 * 1024 // hash-chain heads + window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipipe::rt::{ClientReq, Cluster};
+    use ipipe_nicsim::CN2350;
+
+    #[test]
+    fn compression_actor_reduces_and_completes() {
+        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(8).build();
+        let z = c.register_actor(0, "zip", Box::new(CompressionActor::default()), Placement::Nic);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                // Log-like payload: repetitive prefix + variable tail.
+                let mut p = b"2026-07-07T12:00:00Z INFO request served status=200 path=/api/v1/items "
+                    .to_vec();
+                p.extend_from_slice(rng.below(1 << 30).to_string().as_bytes());
+                while p.len() < 960 {
+                    let l = p.len().min(128);
+                    let tail = p[p.len() - l..].to_vec();
+                    p.extend_from_slice(&tail);
+                }
+                p.truncate(960);
+                ClientReq {
+                    dst: z,
+                    wire_size: 1024,
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(NfMsg::Compress(p))),
+                }
+            }),
+            64,
+        );
+        c.run_for(SimTime::from_ms(10));
+        // ZIP at ~180us/KB bounds throughput near 12 cores / 180us ~ 66krps
+        // (less if the scheduler pushes the actor to the slower host).
+        let done = c.completions().count();
+        assert!(done > 200, "done={done}");
+    }
+
+    #[test]
+    fn firewall_classifies_at_line_rate_scale() {
+        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(3).build();
+        let fw = c.register_actor(0, "firewall", Box::new(FirewallActor::new(8192, 1)), Placement::Nic);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let pkt = FiveTuple {
+                    src_ip: rng.below(1 << 32) as u32,
+                    dst_ip: rng.below(1 << 32) as u32,
+                    src_port: rng.below(65536) as u16,
+                    dst_port: rng.below(65536) as u16,
+                    proto: if rng.chance(0.5) { 6 } else { 17 },
+                };
+                ClientReq {
+                    dst: fw,
+                    wire_size: 1024,
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(NfMsg::Classify(pkt))),
+                }
+            }),
+            32,
+        );
+        c.run_for(SimTime::from_ms(5));
+        let done = c.completions().count();
+        assert!(done > 1_000, "done={done}");
+        // §5.7: average processing latency in the single-digit-to-tens of µs.
+        let mean = c.completions().mean();
+        assert!(mean > SimTime::from_us(3) && mean < SimTime::from_us(120), "mean={mean}");
+    }
+
+    #[test]
+    fn ipsec_gateway_encrypts_under_load() {
+        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(4).build();
+        let gw = c.register_actor(0, "ipsec", Box::new(IpsecActor::new(8)), Placement::Nic);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let payload = vec![0x5A; 960];
+                ClientReq {
+                    dst: gw,
+                    wire_size: 1024,
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(NfMsg::Encrypt(payload))),
+                }
+            }),
+            32,
+        );
+        c.run_for(SimTime::from_ms(5));
+        assert!(c.completions().count() > 1_000);
+    }
+}

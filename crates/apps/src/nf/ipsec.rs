@@ -1,0 +1,191 @@
+//! The IPSec datapath of §5.7: ESP-style encapsulation with AES-256-CTR
+//! encryption and HMAC-SHA1 authentication. Ciphertext and ICVs are real
+//! (computed by `ipipe_nicsim::crypto`); on the SmartNIC the *timing* comes
+//! from the AES/SHA-1 accelerator models.
+
+use ipipe_nicsim::crypto::aes::Aes;
+use ipipe_nicsim::crypto::sha1::hmac_sha1;
+
+/// Truncated ICV length (RFC 2404: HMAC-SHA1-96).
+pub const ICV_LEN: usize = 12;
+/// ESP header: SPI (4) + sequence number (8 — extended).
+pub const ESP_HDR: usize = 12;
+
+/// An encapsulated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpsecPacket {
+    /// Security parameter index.
+    pub spi: u32,
+    /// Anti-replay sequence number.
+    pub seq: u64,
+    /// Encrypted payload.
+    pub ciphertext: Vec<u8>,
+    /// Truncated HMAC-SHA1 ICV over header + ciphertext.
+    pub icv: [u8; ICV_LEN],
+}
+
+impl IpsecPacket {
+    /// Wire size of the encapsulated packet.
+    pub fn wire_len(&self) -> usize {
+        ESP_HDR + self.ciphertext.len() + ICV_LEN
+    }
+}
+
+/// Errors on the receive path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpsecError {
+    /// ICV mismatch: corrupted or forged.
+    BadIcv,
+    /// Sequence number replayed or too old.
+    Replay,
+}
+
+/// One security association (both directions for simplicity).
+pub struct IpsecGateway {
+    aes: Aes,
+    auth_key: [u8; 20],
+    spi: u32,
+    tx_seq: u64,
+    /// Highest authenticated sequence seen + 64-bit replay window.
+    rx_high: u64,
+    rx_window: u64,
+    /// Packets processed.
+    pub encrypted: u64,
+    /// Packets authenticated+decrypted.
+    pub decrypted: u64,
+}
+
+impl IpsecGateway {
+    /// New SA with the given 256-bit encryption key and auth key.
+    pub fn new(spi: u32, enc_key: &[u8; 32], auth_key: &[u8; 20]) -> IpsecGateway {
+        IpsecGateway {
+            aes: Aes::new_256(enc_key),
+            auth_key: *auth_key,
+            spi,
+            tx_seq: 0,
+            rx_high: 0,
+            rx_window: 0,
+            encrypted: 0,
+            decrypted: 0,
+        }
+    }
+
+    fn icv_over(&self, spi: u32, seq: u64, ct: &[u8]) -> [u8; ICV_LEN] {
+        let mut buf = Vec::with_capacity(ESP_HDR + ct.len());
+        buf.extend_from_slice(&spi.to_be_bytes());
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.extend_from_slice(ct);
+        let full = hmac_sha1(&self.auth_key, &buf);
+        full[..ICV_LEN].try_into().expect("12 bytes")
+    }
+
+    /// Outbound: encrypt + authenticate.
+    pub fn encapsulate(&mut self, plaintext: &[u8]) -> IpsecPacket {
+        self.tx_seq += 1;
+        let seq = self.tx_seq;
+        let mut ct = plaintext.to_vec();
+        self.aes.ctr_transform(seq, &mut ct);
+        let icv = self.icv_over(self.spi, seq, &ct);
+        self.encrypted += 1;
+        IpsecPacket {
+            spi: self.spi,
+            seq,
+            ciphertext: ct,
+            icv,
+        }
+    }
+
+    /// Inbound: authenticate, replay-check, decrypt.
+    pub fn decapsulate(&mut self, pkt: &IpsecPacket) -> Result<Vec<u8>, IpsecError> {
+        let want = self.icv_over(pkt.spi, pkt.seq, &pkt.ciphertext);
+        if want != pkt.icv {
+            return Err(IpsecError::BadIcv);
+        }
+        // Sliding 64-packet anti-replay window.
+        if pkt.seq + 64 <= self.rx_high + 1 && self.rx_high > 0 {
+            return Err(IpsecError::Replay);
+        }
+        if pkt.seq > self.rx_high {
+            let shift = pkt.seq - self.rx_high;
+            self.rx_window = if shift >= 64 { 0 } else { self.rx_window << shift };
+            self.rx_window |= 1;
+            self.rx_high = pkt.seq;
+        } else {
+            let bit = self.rx_high - pkt.seq;
+            if (self.rx_window >> bit) & 1 == 1 {
+                return Err(IpsecError::Replay);
+            }
+            self.rx_window |= 1 << bit;
+        }
+        let mut pt = pkt.ciphertext.clone();
+        self.aes.ctr_transform(pkt.seq, &mut pt);
+        self.decrypted += 1;
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gateway_pair() -> (IpsecGateway, IpsecGateway) {
+        let ek = [0x11u8; 32];
+        let ak = [0x22u8; 20];
+        (IpsecGateway::new(7, &ek, &ak), IpsecGateway::new(7, &ek, &ak))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut tx, mut rx) = gateway_pair();
+        for i in 0..20u32 {
+            let msg = format!("packet number {i}, payload data").into_bytes();
+            let pkt = tx.encapsulate(&msg);
+            assert_ne!(pkt.ciphertext, msg, "must actually encrypt");
+            assert_eq!(pkt.wire_len(), ESP_HDR + msg.len() + ICV_LEN);
+            let out = rx.decapsulate(&pkt).unwrap();
+            assert_eq!(out, msg);
+        }
+        assert_eq!(tx.encrypted, 20);
+        assert_eq!(rx.decrypted, 20);
+    }
+
+    #[test]
+    fn tampered_packet_rejected() {
+        let (mut tx, mut rx) = gateway_pair();
+        let mut pkt = tx.encapsulate(b"authentic data");
+        pkt.ciphertext[0] ^= 1;
+        assert_eq!(rx.decapsulate(&pkt), Err(IpsecError::BadIcv));
+        // Tampered header too.
+        let mut pkt = tx.encapsulate(b"more data");
+        pkt.seq += 1;
+        assert_eq!(rx.decapsulate(&pkt), Err(IpsecError::BadIcv));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut tx, mut rx) = gateway_pair();
+        let pkt = tx.encapsulate(b"once only");
+        assert!(rx.decapsulate(&pkt).is_ok());
+        assert_eq!(rx.decapsulate(&pkt), Err(IpsecError::Replay));
+    }
+
+    #[test]
+    fn out_of_order_within_window_ok() {
+        let (mut tx, mut rx) = gateway_pair();
+        let p1 = tx.encapsulate(b"one");
+        let p2 = tx.encapsulate(b"two");
+        let p3 = tx.encapsulate(b"three");
+        assert!(rx.decapsulate(&p3).is_ok());
+        assert!(rx.decapsulate(&p1).is_ok());
+        assert!(rx.decapsulate(&p2).is_ok());
+        assert_eq!(rx.decapsulate(&p2), Err(IpsecError::Replay));
+    }
+
+    #[test]
+    fn wrong_key_fails_auth() {
+        let (mut tx, _) = gateway_pair();
+        let mut rx = IpsecGateway::new(7, &[0x11; 32], &[0x99; 20]);
+        let pkt = tx.encapsulate(b"secret");
+        assert_eq!(rx.decapsulate(&pkt), Err(IpsecError::BadIcv));
+    }
+}

@@ -1,0 +1,13 @@
+//! Network functions on iPipe (§5.7): a software-TCAM firewall matching
+//! wildcard rules and an IPSec gateway doing AES-256-CTR encryption with
+//! HMAC-SHA1 authentication via the crypto accelerators.
+
+pub mod actors;
+pub mod compress;
+pub mod ipsec;
+pub mod tcam;
+
+pub use actors::{CompressionActor, FirewallActor, IpsecActor};
+pub use compress::{compress, decompress};
+pub use ipsec::{IpsecGateway, IpsecPacket};
+pub use tcam::{FiveTuple, Tcam, TcamRule};

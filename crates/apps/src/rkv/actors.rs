@@ -1,0 +1,715 @@
+//! The four RKV actors (§4) and the deployment helper that wires a
+//! replicated group across cluster nodes.
+
+use super::lsm::{Key, Levels, KEY_LEN};
+use super::paxos::{NodeIdx, PaxosMsg, PaxosNode, Role};
+use ipipe::prelude::*;
+use ipipe::rt::Cluster;
+use ipipe::skiplist::DmoSkipList;
+use ipipe_workload::kv::KvOp;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Messages flowing between RKV actors.
+pub enum RkvMsg {
+    /// Client operation (arrives at the consensus actor).
+    Client(KvOp),
+    /// Replica-to-replica Paxos traffic.
+    Paxos {
+        /// Sending replica index.
+        from: NodeIdx,
+        /// Protocol message.
+        msg: PaxosMsg,
+    },
+    /// Committed write applied to the Memtable.
+    Apply {
+        /// Key.
+        key: Key,
+        /// Value; `None` is a delete.
+        value: Option<Vec<u8>>,
+    },
+    /// Read routed to the Memtable.
+    MemRead {
+        /// Key.
+        key: Key,
+        /// Client to answer.
+        client: Address,
+        /// Request token.
+        token: u64,
+    },
+    /// Memtable miss forwarded to the SSTable read actor.
+    ReadMiss {
+        /// Key.
+        key: Key,
+        /// Client to answer.
+        client: Address,
+        /// Request token.
+        token: u64,
+    },
+    /// Frozen Memtable contents bound for a minor compaction.
+    FlushBatch(Vec<(Key, Option<Vec<u8>>)>),
+    /// Operator/failure-detector signal: campaign to become leader (the
+    /// two-phase Paxos leader election of §4).
+    StartElection,
+}
+
+/// Addresses of one replica's actors plus its peers — filled in after
+/// registration (actors read it lazily through a shared cell).
+#[derive(Default)]
+pub struct RkvWiring {
+    /// Consensus actors indexed by replica.
+    pub consensus: Vec<Address>,
+    /// This replica's Memtable actor (index by replica).
+    pub memtable: Vec<Address>,
+    /// This replica's SSTable read actor.
+    pub sst_read: Vec<Address>,
+    /// This replica's compaction actor.
+    pub compaction: Vec<Address>,
+}
+
+/// Shared wiring handle.
+pub type Wiring = Rc<RefCell<RkvWiring>>;
+
+// --------------------------------------------------------------------
+// Consensus actor
+// --------------------------------------------------------------------
+
+/// Encodes a committed command: key + optional value + reply routing.
+fn encode_cmd(token: u64, client: Address, key: &Key, value: Option<&[u8]>) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32 + KEY_LEN + value.map(<[u8]>::len).unwrap_or(0));
+    b.extend_from_slice(&token.to_le_bytes());
+    b.extend_from_slice(&client.node.to_le_bytes());
+    b.extend_from_slice(&client.actor.to_le_bytes());
+    b.extend_from_slice(key);
+    match value {
+        Some(v) => {
+            b.push(1);
+            b.extend_from_slice(v);
+        }
+        None => b.push(0),
+    }
+    b
+}
+
+fn decode_cmd(b: &[u8]) -> Option<(u64, Address, Key, Option<Vec<u8>>)> {
+    if b.len() < 8 + 2 + 4 + KEY_LEN + 1 {
+        return None;
+    }
+    let token = u64::from_le_bytes(b[0..8].try_into().ok()?);
+    let node = u16::from_le_bytes(b[8..10].try_into().ok()?);
+    let actor = u32::from_le_bytes(b[10..14].try_into().ok()?);
+    let key: Key = b[14..14 + KEY_LEN].try_into().ok()?;
+    let rest = &b[14 + KEY_LEN..];
+    let value = if rest[0] == 1 {
+        Some(rest[1..].to_vec())
+    } else {
+        None
+    };
+    Some((token, Address { node, actor }, key, value))
+}
+
+/// The consensus actor: client ingress + Multi-Paxos coordination.
+pub struct ConsensusActor {
+    paxos: PaxosNode,
+    replica: NodeIdx,
+    wiring: Wiring,
+    /// Client writes that arrived while this replica was not the leader —
+    /// proposed as soon as leadership is won (the failover window).
+    pending: Vec<(u64, Address, Key, Vec<u8>)>,
+}
+
+impl ConsensusActor {
+    /// Replica `replica` of `n`.
+    pub fn new(replica: NodeIdx, n: u32, wiring: Wiring) -> ConsensusActor {
+        ConsensusActor {
+            paxos: PaxosNode::new(replica, n),
+            replica,
+            wiring,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Propose everything buffered during a leaderless window.
+    fn drain_pending(&mut self, ctx: &mut ActorCtx<'_>) {
+        if self.paxos.role() != Role::Leader || self.pending.is_empty() {
+            return;
+        }
+        for (token, client, key, value) in std::mem::take(&mut self.pending) {
+            let cmd = encode_cmd(token, client, &key, Some(&value));
+            let outs = self.paxos.propose(cmd);
+            self.ship(ctx, token, outs);
+        }
+    }
+
+    /// Leader status (for tests/harness).
+    pub fn is_leader(&self) -> bool {
+        self.paxos.role() == Role::Leader
+    }
+
+    fn ship(&self, ctx: &mut ActorCtx<'_>, token: u64, outs: Vec<(NodeIdx, PaxosMsg)>) {
+        let wiring = self.wiring.borrow();
+        for (peer, msg) in outs {
+            let size = 48
+                + match &msg {
+                    PaxosMsg::Accept { value, .. } | PaxosMsg::Learn { value, .. } => {
+                        value.len() as u32
+                    }
+                    PaxosMsg::PrepareReply { accepted, .. } => {
+                        accepted.iter().map(|(_, _, v)| v.len() as u32 + 16).sum()
+                    }
+                    _ => 0,
+                };
+            ctx.send(
+                wiring.consensus[peer as usize],
+                token,
+                size,
+                token,
+                Some(Box::new(RkvMsg::Paxos {
+                    from: self.replica,
+                    msg,
+                })),
+            );
+        }
+    }
+
+    fn apply_committed(&mut self, ctx: &mut ActorCtx<'_>) {
+        let committed = self.paxos.drain_committed();
+        let leader = self.paxos.role() == Role::Leader;
+        let memtable = self.wiring.borrow().memtable[self.replica as usize];
+        for (_slot, cmd) in committed {
+            if cmd.is_empty() {
+                continue; // gap-filling no-op
+            }
+            let Some((token, client, key, value)) = decode_cmd(&cmd) else {
+                continue;
+            };
+            ctx.charge_work(250);
+            ctx.send(
+                memtable,
+                token,
+                64,
+                token,
+                Some(Box::new(RkvMsg::Apply { key, value })),
+            );
+            if leader {
+                ctx.reply_to(client, 64, token, None);
+            }
+        }
+    }
+}
+
+impl ActorLogic for ConsensusActor {
+    fn init(&mut self, ctx: &mut ActorCtx<'_>) {
+        // The RSM log window is DMO-resident.
+        let _ = ctx.dmo().malloc(self.state_hint_bytes());
+    }
+
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let token = req.token;
+        let msg = req.payload_as::<RkvMsg>();
+        match *msg {
+            RkvMsg::Client(op) => {
+                ctx.charge_work(700); // request parse + dispatch
+                match op {
+                    KvOp::Get { key } => {
+                        // Fast-path reads go straight to the Memtable actor.
+                        let client = req.reply_to.expect("client read carries reply address");
+                        let memtable = self.wiring.borrow().memtable[self.replica as usize];
+                        ctx.send(
+                            memtable,
+                            token,
+                            64,
+                            token,
+                            Some(Box::new(RkvMsg::MemRead { key, client, token })),
+                        );
+                    }
+                    KvOp::Put { key, value } => {
+                        let client = req.reply_to.expect("client write carries reply address");
+                        ctx.charge_work(500); // log append bookkeeping
+                        if self.paxos.role() == Role::Leader {
+                            let cmd = encode_cmd(token, client, &key, Some(&value));
+                            let outs = self.paxos.propose(cmd);
+                            self.ship(ctx, token, outs);
+                            self.apply_committed(ctx); // single-replica commits
+                        } else {
+                            // Not the leader (failover window): buffer and
+                            // propose once leadership is won.
+                            self.pending.push((token, client, key, value));
+                        }
+                    }
+                }
+            }
+            RkvMsg::Paxos { from, msg } => {
+                ctx.charge_work(900); // protocol state machine
+                let outs = self.paxos.handle(from, msg);
+                self.ship(ctx, token, outs);
+                self.drain_pending(ctx);
+                self.apply_committed(ctx);
+            }
+            RkvMsg::StartElection => {
+                ctx.charge_work(1200);
+                let outs = self.paxos.start_election();
+                self.ship(ctx, token, outs);
+                self.drain_pending(ctx);
+                self.apply_committed(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn host_speedup(&self) -> f64 {
+        3.0 // control-heavy, cache-friendly
+    }
+
+    fn state_hint_bytes(&self) -> u64 {
+        256 * 1024 // RSM log window
+    }
+}
+
+// --------------------------------------------------------------------
+// Memtable actor
+// --------------------------------------------------------------------
+
+/// The LSM Memtable actor: a DMO Skip List absorbing writes and serving
+/// fast reads; flushes to the compaction actor at the size threshold.
+pub struct MemtableActor {
+    list: Option<DmoSkipList>,
+    bytes: u64,
+    /// Flush threshold (paper: Memtable objects of tens of MB; tests shrink
+    /// this).
+    pub flush_threshold: u64,
+    replica: usize,
+    wiring: Wiring,
+    /// Minor compactions triggered.
+    pub flushes: u64,
+}
+
+impl MemtableActor {
+    /// Memtable for `replica`.
+    pub fn new(replica: usize, wiring: Wiring, flush_threshold: u64) -> MemtableActor {
+        MemtableActor {
+            list: None,
+            bytes: 0,
+            flush_threshold,
+            replica,
+            wiring,
+            flushes: 0,
+        }
+    }
+}
+
+impl ActorLogic for MemtableActor {
+    fn init(&mut self, ctx: &mut ActorCtx<'_>) {
+        self.list = Some(DmoSkipList::create(&mut ctx.dmo()).expect("memtable region"));
+    }
+
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let msg = req.payload_as::<RkvMsg>();
+        let list = self.list.as_mut().expect("init ran");
+        match *msg {
+            RkvMsg::Apply { key, value } => {
+                ctx.charge_work(600);
+                let bytes = KEY_LEN as u64 + value.as_ref().map(|v| v.len() as u64).unwrap_or(1);
+                // Deletions are insertions of a tombstone (paper §4).
+                let encoded = match &value {
+                    Some(v) => {
+                        let mut e = vec![1u8];
+                        e.extend_from_slice(v);
+                        e
+                    }
+                    None => vec![0u8],
+                };
+                let mut dmo = ctx.dmo();
+                // Out-of-region inserts trigger an early flush instead of a
+                // hard failure.
+                let mut rng = ipipe_sim::DetRng::new(self.bytes ^ 0x5eed);
+                if list.insert(&mut dmo, &mut rng, &key, &encoded).is_err() {
+                    self.bytes = self.flush_threshold; // force flush below
+                } else {
+                    self.bytes += bytes;
+                }
+                if self.bytes >= self.flush_threshold {
+                    self.flushes += 1;
+                    let entries = list.iter_all(&mut dmo).unwrap_or_default();
+                    let frozen_bytes = self.bytes;
+                    let batch: Vec<(Key, Option<Vec<u8>>)> = entries
+                        .into_iter()
+                        .map(|(k, e)| {
+                            let v = if e.first() == Some(&1) {
+                                Some(e[1..].to_vec())
+                            } else {
+                                None
+                            };
+                            (k, v)
+                        })
+                        .collect();
+                    let _ = list.clear(&mut dmo);
+                    self.bytes = 0;
+                    drop(dmo);
+                    // Paper §4: "the Memtable actor migrates its Memtable
+                    // object to the host and issues a message to the
+                    // compaction actor" — the object moves asynchronously;
+                    // the NIC core only pays the hand-off, not a full scan.
+                    ctx.waive_dmo_traffic();
+                    ctx.charge(SimTime::from_ns(8_000 + frozen_bytes / 512));
+                    let total: u64 = batch
+                        .iter()
+                        .map(|(_, v)| KEY_LEN as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(1))
+                        .sum();
+                    let compaction = self.wiring.borrow().compaction[self.replica];
+                    ctx.send(
+                        compaction,
+                        req.token,
+                        (total as u32).min(60_000),
+                        req.token,
+                        Some(Box::new(RkvMsg::FlushBatch(batch))),
+                    );
+                }
+            }
+            RkvMsg::MemRead { key, client, token } => {
+                ctx.charge_work(500);
+                let mut dmo = ctx.dmo();
+                match list.get(&mut dmo, &key).ok().flatten() {
+                    Some(encoded) => {
+                        drop(dmo);
+                        if encoded.first() == Some(&1) {
+                            let len = (encoded.len() - 1) as u32;
+                            ctx.reply_to(client, 64 + len, token, None);
+                        } else {
+                            // Tombstone: definitively not found.
+                            ctx.reply_to(client, 64, token, None);
+                        }
+                    }
+                    None => {
+                        drop(dmo);
+                        let sst = self.wiring.borrow().sst_read[self.replica];
+                        ctx.send(
+                            sst,
+                            token,
+                            64,
+                            token,
+                            Some(Box::new(RkvMsg::ReadMiss { key, client, token })),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn host_speedup(&self) -> f64 {
+        1.6 // pointer-chasing Skip List: memory-bound (implication I3)
+    }
+
+    fn state_hint_bytes(&self) -> u64 {
+        32 << 20
+    }
+}
+
+// --------------------------------------------------------------------
+// SSTable read + compaction actors (host-pinned)
+// --------------------------------------------------------------------
+
+/// Shared leveled store: the two host-pinned actors are colocated in host
+/// memory and share the SSTables.
+pub type SharedLevels = Rc<RefCell<Levels>>;
+
+/// Serves reads that missed the Memtable. Host-pinned ("they have to
+/// interact with persistent storage").
+pub struct SstReadActor {
+    levels: SharedLevels,
+}
+
+impl SstReadActor {
+    /// Reader over shared levels.
+    pub fn new(levels: SharedLevels) -> SstReadActor {
+        SstReadActor { levels }
+    }
+}
+
+impl ActorLogic for SstReadActor {
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let msg = req.payload_as::<RkvMsg>();
+        if let RkvMsg::ReadMiss { key, client, token } = *msg {
+            let levels = self.levels.borrow();
+            // Each level probed costs a (simulated) storage-page read.
+            ctx.charge(SimTime::from_us(2) * (levels.depth().max(1)) as u64);
+            ctx.charge_work(800);
+            let hit = levels.get(&key);
+            let len = hit.map(|v| v.len() as u32).unwrap_or(0);
+            ctx.reply_to(client, 64 + len, token, None);
+        }
+    }
+
+    fn host_pinned(&self) -> bool {
+        true
+    }
+
+    fn host_speedup(&self) -> f64 {
+        2.2
+    }
+}
+
+/// Performs minor/major compactions. Host-pinned.
+pub struct CompactionActor {
+    levels: SharedLevels,
+}
+
+impl CompactionActor {
+    /// Compactor over shared levels.
+    pub fn new(levels: SharedLevels) -> CompactionActor {
+        CompactionActor { levels }
+    }
+}
+
+impl ActorLogic for CompactionActor {
+    fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
+        let msg = req.payload_as::<RkvMsg>();
+        if let RkvMsg::FlushBatch(batch) = *msg {
+            let bytes: u64 = batch
+                .iter()
+                .map(|(_, v)| KEY_LEN as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(1))
+                .sum();
+            // Sequential merge cost ~0.7ns/B plus fixed overhead.
+            ctx.charge(SimTime::from_ns(2_000 + (bytes as f64 * 0.7) as u64));
+            self.levels.borrow_mut().flush_memtable(batch);
+        }
+    }
+
+    fn host_pinned(&self) -> bool {
+        true
+    }
+
+    fn host_speedup(&self) -> f64 {
+        2.0
+    }
+}
+
+// --------------------------------------------------------------------
+// Deployment
+// --------------------------------------------------------------------
+
+/// Handles to a deployed RKV group.
+pub struct RkvDeployment {
+    /// Consensus-actor address per replica (clients talk to `consensus[0]`,
+    /// the initial leader).
+    pub consensus: Vec<Address>,
+    /// Memtable actors (diagnostics).
+    pub memtable: Vec<Address>,
+    /// Shared wiring (tests can inspect).
+    pub wiring: Wiring,
+}
+
+/// Deploy a replicated KV group over `replicas` server nodes.
+/// `memtable_flush` is the Memtable size threshold in bytes.
+pub fn deploy_rkv(c: &mut Cluster, replicas: &[usize], memtable_flush: u64) -> RkvDeployment {
+    let n = replicas.len() as u32;
+    let wiring: Wiring = Rc::new(RefCell::new(RkvWiring::default()));
+    let mut consensus = Vec::new();
+    let mut memtable = Vec::new();
+    let mut sst_read = Vec::new();
+    let mut compaction = Vec::new();
+    for (ri, &node) in replicas.iter().enumerate() {
+        let levels: SharedLevels = Rc::new(RefCell::new(Levels::leveldb_default()));
+        consensus.push(c.register_actor(
+            node,
+            &format!("rkv-consensus-{ri}"),
+            Box::new(ConsensusActor::new(ri as u32, n, wiring.clone())),
+            Placement::Nic,
+        ));
+        memtable.push(c.register_actor(
+            node,
+            &format!("rkv-memtable-{ri}"),
+            Box::new(MemtableActor::new(ri, wiring.clone(), memtable_flush)),
+            Placement::Nic,
+        ));
+        sst_read.push(c.register_actor(
+            node,
+            &format!("rkv-sst-read-{ri}"),
+            Box::new(SstReadActor::new(levels.clone())),
+            Placement::Host,
+        ));
+        compaction.push(c.register_actor(
+            node,
+            &format!("rkv-compaction-{ri}"),
+            Box::new(CompactionActor::new(levels)),
+            Placement::Host,
+        ));
+    }
+    {
+        let mut w = wiring.borrow_mut();
+        w.consensus = consensus.clone();
+        w.memtable = memtable.clone();
+        w.sst_read = sst_read;
+        w.compaction = compaction;
+    }
+    RkvDeployment {
+        consensus,
+        memtable,
+        wiring,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipipe::rt::ClientReq;
+    use ipipe_nicsim::CN2350;
+    use ipipe_workload::kv::KvWorkload;
+
+    fn rkv_cluster(replicas: usize) -> (Cluster, RkvDeployment) {
+        let mut c = Cluster::builder(CN2350)
+            .servers(replicas)
+            .clients(1)
+            .seed(0xEBB)
+            .build();
+        let dep = deploy_rkv(&mut c, &(0..replicas).collect::<Vec<_>>(), 64 * 1024);
+        (c, dep)
+    }
+
+    #[test]
+    fn replicated_kv_serves_reads_and_writes() {
+        let (mut c, dep) = rkv_cluster(3);
+        let leader = dep.consensus[0];
+        let mut wl = KvWorkload::paper_default(512, 1);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let op = wl.next_op();
+                ClientReq {
+                    dst: leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            16,
+        );
+        c.run_for(SimTime::from_ms(10));
+        let done = c.completions().count();
+        assert!(done > 1_000, "done={done}");
+        assert!(c.completions().p99() >= c.completions().mean());
+    }
+
+    #[test]
+    fn writes_reach_follower_memtables() {
+        // Write-only workload; after the run every replica's memtable actor
+        // must have applied commands (checked indirectly via Paxos commit
+        // symmetry: follower consensus actors forward Apply messages which
+        // would crash on missing memtable wiring).
+        let (mut c, dep) = rkv_cluster(3);
+        let leader = dep.consensus[0];
+        let mut wl = KvWorkload::new(1000, 0.99, 0.0, 64, 3); // all writes
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let op = wl.next_op();
+                ClientReq {
+                    dst: leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            8,
+        );
+        c.run_for(SimTime::from_ms(10));
+        assert!(c.completions().count() > 500);
+    }
+
+    #[test]
+    fn flushes_trigger_compaction_and_sst_reads_still_answer() {
+        let (mut c, dep) = rkv_cluster(1);
+        let leader = dep.consensus[0];
+        // Small flush threshold + write-heavy: force flushes, then read.
+        let mut wl = KvWorkload::new(200, 0.99, 0.5, 256, 5);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let op = wl.next_op();
+                ClientReq {
+                    dst: leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            8,
+        );
+        c.run_for(SimTime::from_ms(20));
+        let done = c.completions().count();
+        assert!(done > 1_000, "done={done}");
+    }
+
+    #[test]
+    fn leader_failover_keeps_the_group_serving() {
+        let (mut c, dep) = rkv_cluster(3);
+        let old_leader = dep.consensus[0];
+        let new_leader = dep.consensus[1];
+        // Phase 1: steady writes to the initial leader.
+        let mut wl = KvWorkload::new(10_000, 0.99, 0.0, 64, 11);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let op = wl.next_op();
+                ClientReq {
+                    dst: old_leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            8,
+        );
+        c.run_for(SimTime::from_ms(4));
+        let before = c.completions().count();
+        assert!(before > 200, "pre-failover writes: {before}");
+        // The "failure detector" fires: replica 1 campaigns (the old leader
+        // is deposed by the higher-ballot Prepare it receives).
+        let mut sent_election = false;
+        let mut wl = KvWorkload::new(10_000, 0.99, 0.0, 64, 12);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                if !sent_election {
+                    sent_election = true;
+                    return ClientReq {
+                        dst: new_leader,
+                        wire_size: 64,
+                        flow: 0,
+                        payload: Some(Box::new(RkvMsg::StartElection)),
+                    };
+                }
+                let op = wl.next_op();
+                ClientReq {
+                    dst: new_leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            8,
+        );
+        c.run_for(SimTime::from_ms(6));
+        let after = c.completions().count();
+        assert!(
+            after > before + 200,
+            "post-failover writes must commit through the new leader: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn cmd_encoding_roundtrip() {
+        let key = [7u8; KEY_LEN];
+        let client = Address { node: 3, actor: 9 };
+        let cmd = encode_cmd(42, client, &key, Some(b"value"));
+        let (token, c2, k2, v2) = decode_cmd(&cmd).unwrap();
+        assert_eq!(token, 42);
+        assert_eq!(c2, client);
+        assert_eq!(k2, key);
+        assert_eq!(v2, Some(b"value".to_vec()));
+        let cmd = encode_cmd(1, client, &key, None);
+        assert_eq!(decode_cmd(&cmd).unwrap().3, None);
+        assert_eq!(decode_cmd(&cmd[..10]), None);
+    }
+}

@@ -1,0 +1,611 @@
+//! Multi-Paxos (§4): "each replica maintains an ordered log for every Paxos
+//! instance; a distinguished leader receives client requests and performs
+//! consensus coordination using prepare/accept/learning messages. In the
+//! common case, consensus for a log instance is achieved with a single round
+//! of accept messages and disseminated with an additional learning round."
+//!
+//! This is a pure message-driven state machine: `handle` consumes a message
+//! and returns the messages to send, so it runs identically inside the iPipe
+//! consensus actor, the DPDK baseline, and the unit tests (which drive a
+//! 3-replica group through commits, leader failure and gap learning).
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Replica index within the group.
+pub type NodeIdx = u32;
+/// Ballot number; encodes the proposing replica (`ballot % n == proposer`).
+pub type Ballot = u64;
+/// Log position.
+pub type Slot = u64;
+
+/// Replica role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The distinguished proposer.
+    Leader,
+    /// Passive acceptor/learner.
+    Follower,
+    /// Running a two-phase leader election.
+    Candidate,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaxosMsg {
+    /// Phase-1a: candidate asks for promises from `from_slot` onward.
+    Prepare {
+        /// Candidate's ballot.
+        ballot: Ballot,
+        /// First slot the candidate needs state for.
+        from_slot: Slot,
+    },
+    /// Phase-1b: promise + the acceptor's accepted suffix.
+    PrepareReply {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// True when the promise was granted.
+        ok: bool,
+        /// Accepted entries at or after `from_slot`: (slot, accepted ballot, value).
+        accepted: Vec<(Slot, Ballot, Vec<u8>)>,
+    },
+    /// Phase-2a: accept request.
+    Accept {
+        /// Proposer's ballot.
+        ballot: Ballot,
+        /// Log slot.
+        slot: Slot,
+        /// Proposed value.
+        value: Vec<u8>,
+    },
+    /// Phase-2b: acceptance (or rejection carrying the higher promise).
+    Accepted {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// Log slot.
+        slot: Slot,
+        /// True when accepted.
+        ok: bool,
+    },
+    /// Learning phase: the leader disseminates a chosen value.
+    Learn {
+        /// Log slot.
+        slot: Slot,
+        /// Chosen value.
+        value: Vec<u8>,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct LogEntry {
+    accepted_ballot: Option<Ballot>,
+    value: Option<Vec<u8>>,
+    committed: bool,
+}
+
+/// One Multi-Paxos replica.
+pub struct PaxosNode {
+    id: NodeIdx,
+    n: u32,
+    role: Role,
+    /// Highest ballot promised (phase 1) or adopted.
+    promised: Ballot,
+    /// Our current ballot when leading/campaigning.
+    ballot: Ballot,
+    log: Vec<LogEntry>,
+    /// Next slot a leader will propose into.
+    next_slot: Slot,
+    /// Next committed slot to hand to the application.
+    apply_index: Slot,
+    /// Per-slot accept quorum tracking (leader side).
+    accept_votes: BTreeMap<Slot, HashSet<NodeIdx>>,
+    /// Election vote tracking (candidate side).
+    prepare_votes: HashSet<NodeIdx>,
+    /// Merged accepted state gathered during the election.
+    election_merge: BTreeMap<Slot, (Ballot, Vec<u8>)>,
+    election_from: Slot,
+}
+
+impl PaxosNode {
+    /// Replica `id` of `n`. Replica 0 starts as the distinguished leader
+    /// (ballot 0), the rest as followers.
+    pub fn new(id: NodeIdx, n: u32) -> PaxosNode {
+        assert!(n >= 1 && id < n);
+        PaxosNode {
+            id,
+            n,
+            role: if id == 0 { Role::Leader } else { Role::Follower },
+            promised: 0,
+            ballot: 0,
+            log: Vec::new(),
+            next_slot: 0,
+            apply_index: 0,
+            accept_votes: BTreeMap::new(),
+            prepare_votes: HashSet::new(),
+            election_merge: BTreeMap::new(),
+            election_from: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> NodeIdx {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    /// Number of committed-and-unapplied plus applied slots.
+    pub fn commit_frontier(&self) -> Slot {
+        let mut s = self.apply_index;
+        while (s as usize) < self.log.len() && self.log[s as usize].committed {
+            s += 1;
+        }
+        s
+    }
+
+    fn majority(&self) -> usize {
+        (self.n as usize / 2) + 1
+    }
+
+    fn others(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        (0..self.n).filter(move |&p| p != self.id)
+    }
+
+    fn entry(&mut self, slot: Slot) -> &mut LogEntry {
+        if self.log.len() <= slot as usize {
+            self.log.resize_with(slot as usize + 1, LogEntry::default);
+        }
+        &mut self.log[slot as usize]
+    }
+
+    /// Leader: propose a client command. Returns the Accept fan-out (empty
+    /// if this replica is not the leader — the caller should redirect).
+    pub fn propose(&mut self, value: Vec<u8>) -> Vec<(NodeIdx, PaxosMsg)> {
+        if self.role != Role::Leader {
+            return Vec::new();
+        }
+        // Never propose into slots that are already decided locally.
+        self.next_slot = self.next_slot.max(self.commit_frontier());
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let ballot = self.ballot;
+        let e = self.entry(slot);
+        e.accepted_ballot = Some(ballot);
+        e.value = Some(value.clone());
+        self.accept_votes
+            .entry(slot)
+            .or_default()
+            .insert(self.id);
+        self.maybe_commit(slot); // single-replica groups commit immediately
+        self.others()
+            .map(|p| {
+                (
+                    p,
+                    PaxosMsg::Accept {
+                        ballot,
+                        slot,
+                        value: value.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Start a two-phase leader election ("when the leader fails, replicas
+    /// run a two-phase Paxos leader election").
+    pub fn start_election(&mut self) -> Vec<(NodeIdx, PaxosMsg)> {
+        self.role = Role::Candidate;
+        // Pick a ballot above anything seen, tagged with our id.
+        let round = self.promised / self.n as u64 + 1;
+        self.ballot = round * self.n as u64 + self.id as u64;
+        self.promised = self.ballot;
+        self.prepare_votes.clear();
+        self.prepare_votes.insert(self.id);
+        self.election_merge.clear();
+        self.election_from = self.commit_frontier();
+        // Merge our own accepted suffix.
+        for s in self.election_from..self.log.len() as u64 {
+            let e = &self.log[s as usize];
+            if let (Some(b), Some(v)) = (e.accepted_ballot, e.value.clone()) {
+                self.election_merge.insert(s, (b, v));
+            }
+        }
+        let from_slot = self.election_from;
+        let ballot = self.ballot;
+        self.others()
+            .map(|p| (p, PaxosMsg::Prepare { ballot, from_slot }))
+            .collect()
+    }
+
+    /// Discard log state below `slot` (all of it must be applied) — the
+    /// snapshot/compaction hook that keeps the RSM log window bounded.
+    /// Returns the number of entries released.
+    pub fn truncate_below(&mut self, slot: Slot) -> usize {
+        let upto = slot.min(self.apply_index) as usize;
+        let mut freed = 0;
+        for e in self.log.iter_mut().take(upto) {
+            if e.value.is_some() {
+                e.value = None;
+                e.accepted_ballot = None;
+                freed += 1;
+            }
+        }
+        let keys: Vec<Slot> = self
+            .accept_votes
+            .range(..upto as Slot)
+            .map(|(&s, _)| s)
+            .collect();
+        for k in keys {
+            self.accept_votes.remove(&k);
+        }
+        freed
+    }
+
+    /// Approximate bytes held by the log window (diagnostics).
+    pub fn log_bytes(&self) -> usize {
+        self.log
+            .iter()
+            .map(|e| e.value.as_ref().map(Vec::len).unwrap_or(0) + 24)
+            .sum()
+    }
+
+    /// Drain commands that became committed, in log order.
+    pub fn drain_committed(&mut self) -> Vec<(Slot, Vec<u8>)> {
+        let mut out = Vec::new();
+        while (self.apply_index as usize) < self.log.len() {
+            let e = &self.log[self.apply_index as usize];
+            if !e.committed {
+                break;
+            }
+            out.push((
+                self.apply_index,
+                e.value.clone().expect("committed entries have values"),
+            ));
+            self.apply_index += 1;
+        }
+        out
+    }
+
+    fn maybe_commit(&mut self, slot: Slot) -> bool {
+        let have = self.accept_votes.get(&slot).map(HashSet::len).unwrap_or(0);
+        if have >= self.majority() {
+            self.entry(slot).committed = true;
+            return true;
+        }
+        false
+    }
+
+    /// Handle a protocol message from `from`; returns messages to send.
+    pub fn handle(&mut self, from: NodeIdx, msg: PaxosMsg) -> Vec<(NodeIdx, PaxosMsg)> {
+        match msg {
+            PaxosMsg::Prepare { ballot, from_slot } => {
+                let ok = ballot > self.promised;
+                let mut accepted = Vec::new();
+                if ok {
+                    self.promised = ballot;
+                    if self.role == Role::Leader {
+                        self.role = Role::Follower; // deposed
+                    }
+                    for s in from_slot..self.log.len() as u64 {
+                        let e = &self.log[s as usize];
+                        if let (Some(b), Some(v)) = (e.accepted_ballot, e.value.clone()) {
+                            accepted.push((s, b, v));
+                        }
+                    }
+                }
+                vec![(from, PaxosMsg::PrepareReply { ballot, ok, accepted })]
+            }
+            PaxosMsg::PrepareReply { ballot, ok, accepted } => {
+                if self.role != Role::Candidate || ballot != self.ballot || !ok {
+                    return Vec::new();
+                }
+                for (s, b, v) in accepted {
+                    match self.election_merge.get(&s) {
+                        Some((eb, _)) if *eb >= b => {}
+                        _ => {
+                            self.election_merge.insert(s, (b, v));
+                        }
+                    }
+                }
+                self.prepare_votes.insert(from);
+                if self.prepare_votes.len() < self.majority() {
+                    return Vec::new();
+                }
+                // Won: become leader, re-propose merged values (gap learning:
+                // "choose the next available log instance and learn accepted
+                // values from other replicas if its log has gaps").
+                self.role = Role::Leader;
+                self.next_slot = self.next_slot.max(self.election_from);
+                let mut out = Vec::new();
+                let max_slot = self.election_merge.keys().next_back().copied();
+                let merged: Vec<(Slot, Vec<u8>)> = self
+                    .election_merge
+                    .iter()
+                    .map(|(&s, (_, v))| (s, v.clone()))
+                    .collect();
+                for (s, v) in &merged {
+                    let ballot = self.ballot;
+                    let e = self.entry(*s);
+                    e.accepted_ballot = Some(ballot);
+                    e.value = Some(v.clone());
+                    let votes = self.accept_votes.entry(*s).or_default();
+                    votes.clear();
+                    votes.insert(self.id);
+                    self.maybe_commit(*s);
+                    for p in (0..self.n).filter(|&p| p != self.id) {
+                        out.push((
+                            p,
+                            PaxosMsg::Accept {
+                                ballot,
+                                slot: *s,
+                                value: v.clone(),
+                            },
+                        ));
+                    }
+                }
+                // Fill uncovered gaps below the merge horizon with no-ops.
+                if let Some(max) = max_slot {
+                    for s in self.election_from..=max {
+                        if !self.election_merge.contains_key(&s) {
+                            let ballot = self.ballot;
+                            let e = self.entry(s);
+                            e.accepted_ballot = Some(ballot);
+                            e.value = Some(Vec::new());
+                            let votes = self.accept_votes.entry(s).or_default();
+                            votes.clear();
+                            votes.insert(self.id);
+                            self.maybe_commit(s);
+                            for p in (0..self.n).filter(|&p| p != self.id) {
+                                out.push((
+                                    p,
+                                    PaxosMsg::Accept {
+                                        ballot,
+                                        slot: s,
+                                        value: Vec::new(),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    self.next_slot = self.next_slot.max(max + 1);
+                }
+                out
+            }
+            PaxosMsg::Accept { ballot, slot, value } => {
+                let ok = ballot >= self.promised;
+                if ok {
+                    self.promised = ballot;
+                    if self.role != Role::Follower && ballot != self.ballot {
+                        self.role = Role::Follower;
+                    }
+                    let e = self.entry(slot);
+                    e.accepted_ballot = Some(ballot);
+                    e.value = Some(value);
+                }
+                vec![(from, PaxosMsg::Accepted { ballot, slot, ok })]
+            }
+            PaxosMsg::Accepted { ballot, slot, ok } => {
+                if self.role != Role::Leader || ballot != self.ballot || !ok {
+                    return Vec::new();
+                }
+                self.accept_votes.entry(slot).or_default().insert(from);
+                let newly = !self.log[slot as usize].committed && self.maybe_commit(slot);
+                if newly {
+                    // Learning round.
+                    let value = self.log[slot as usize].value.clone().expect("accepted");
+                    self.others()
+                        .map(|p| {
+                            (
+                                p,
+                                PaxosMsg::Learn {
+                                    slot,
+                                    value: value.clone(),
+                                },
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            PaxosMsg::Learn { slot, value } => {
+                let e = self.entry(slot);
+                e.value = Some(value);
+                e.committed = true;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Deliver all in-flight messages until quiescence (optionally dropping
+    /// everything to/from `dead`).
+    fn pump(nodes: &mut [PaxosNode], queue: &mut VecDeque<(NodeIdx, NodeIdx, PaxosMsg)>, dead: Option<NodeIdx>) {
+        while let Some((from, to, msg)) = queue.pop_front() {
+            if Some(from) == dead || Some(to) == dead {
+                continue;
+            }
+            for (dst, m) in nodes[to as usize].handle(from, msg) {
+                queue.push_back((to, dst, m));
+            }
+        }
+    }
+
+    fn group(n: u32) -> Vec<PaxosNode> {
+        (0..n).map(|i| PaxosNode::new(i, n)).collect()
+    }
+
+    #[test]
+    fn truncation_bounds_the_log() {
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for i in 0..100u32 {
+            for (to, m) in nodes[0].propose(vec![i as u8; 64]) {
+                q.push_back((0, to, m));
+            }
+        }
+        pump(&mut nodes, &mut q, None);
+        let drained = nodes[0].drain_committed();
+        assert_eq!(drained.len(), 100);
+        let before = nodes[0].log_bytes();
+        let freed = nodes[0].truncate_below(100);
+        assert_eq!(freed, 100);
+        assert!(nodes[0].log_bytes() < before / 2);
+        // The replica still works after truncation.
+        for (to, m) in nodes[0].propose(b"post-truncate".to_vec()) {
+            q.push_back((0, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        assert_eq!(nodes[0].drain_committed().len(), 1);
+    }
+
+    #[test]
+    fn truncation_never_touches_unapplied_slots() {
+        let mut n = PaxosNode::new(0, 1);
+        n.propose(b"a".to_vec());
+        n.propose(b"b".to_vec());
+        // Nothing applied yet: truncate_below is a no-op past apply_index.
+        assert_eq!(n.truncate_below(10), 0);
+        assert_eq!(n.drain_committed().len(), 2);
+        assert_eq!(n.truncate_below(10), 2);
+    }
+
+    #[test]
+    fn single_replica_commits_instantly() {
+        let mut n = PaxosNode::new(0, 1);
+        let out = n.propose(b"x".to_vec());
+        assert!(out.is_empty());
+        assert_eq!(n.drain_committed(), vec![(0, b"x".to_vec())]);
+    }
+
+    #[test]
+    fn three_replicas_commit_in_one_accept_round() {
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[0].propose(b"cmd1".to_vec()) {
+            q.push_back((0, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        for node in nodes.iter_mut() {
+            assert_eq!(node.drain_committed(), vec![(0, b"cmd1".to_vec())], "node {}", node.id());
+        }
+    }
+
+    #[test]
+    fn commands_apply_in_order_across_replicas() {
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for i in 0..50u32 {
+            for (to, m) in nodes[0].propose(format!("c{i}").into_bytes()) {
+                q.push_back((0, to, m));
+            }
+        }
+        pump(&mut nodes, &mut q, None);
+        let expect: Vec<_> = (0..50u32)
+            .map(|i| (i as u64, format!("c{i}").into_bytes()))
+            .collect();
+        for node in nodes.iter_mut() {
+            assert_eq!(node.drain_committed(), expect);
+        }
+    }
+
+    #[test]
+    fn leader_failure_election_preserves_committed_values() {
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[0].propose(b"durable".to_vec()) {
+            q.push_back((0, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        // Node 0 dies. Node 1 campaigns.
+        for (to, m) in nodes[1].start_election() {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        assert_eq!(nodes[1].role(), Role::Leader);
+        assert_eq!(nodes[2].role(), Role::Follower);
+        // The new leader can commit new commands with the survivor.
+        for (to, m) in nodes[1].propose(b"post-failover".to_vec()) {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        let all1 = nodes[1].drain_committed();
+        let all2 = nodes[2].drain_committed();
+        assert_eq!(all1, all2);
+        assert_eq!(all1[0].1, b"durable".to_vec());
+        assert!(all1.iter().any(|(_, v)| v == b"post-failover"));
+    }
+
+    #[test]
+    fn election_recovers_uncommitted_accepted_value() {
+        let mut nodes = group(3);
+        // Leader proposes but only node 1 receives the Accept (partial
+        // round); leader then dies before committing.
+        let out = nodes[0].propose(b"maybe".to_vec());
+        for (to, m) in out {
+            if to == 1 {
+                let replies = nodes[1].handle(0, m);
+                drop(replies); // leader is dead; Accepted goes nowhere
+            }
+        }
+        // Node 2 campaigns; node 1's promise carries the accepted value, so
+        // Paxos safety forces the new leader to re-propose it.
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[2].start_election() {
+            q.push_back((2, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        assert_eq!(nodes[2].role(), Role::Leader);
+        let committed = nodes[2].drain_committed();
+        assert_eq!(committed, vec![(0, b"maybe".to_vec())]);
+    }
+
+    #[test]
+    fn deposed_leader_steps_down() {
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[1].start_election() {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        assert_eq!(nodes[1].role(), Role::Leader);
+        assert_eq!(nodes[0].role(), Role::Follower, "old leader must step down");
+        // Old leader's proposals are now inert.
+        assert!(nodes[0].propose(b"stale".to_vec()).is_empty());
+    }
+
+    #[test]
+    fn five_replica_group_survives_two_failures() {
+        let mut nodes = group(5);
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[0].propose(b"a".to_vec()) {
+            q.push_back((0, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        // Kill 0; elect 3; commit with quorum {1,2,3} (4 also alive).
+        for (to, m) in nodes[3].start_election() {
+            q.push_back((3, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        for (to, m) in nodes[3].propose(b"b".to_vec()) {
+            q.push_back((3, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        let c3 = nodes[3].drain_committed();
+        assert_eq!(c3.len(), 2);
+        assert_eq!(c3[0].1, b"a");
+        assert_eq!(c3[1].1, b"b");
+    }
+}

@@ -1,0 +1,16 @@
+//! Real-time analytics engine (§4): the FlexStorm-derived pipeline of
+//! filter → counter → ranker workers, implemented as iPipe actors.
+//!
+//! * [`regex`] — a Thompson-NFA regular-expression engine (the paper's
+//!   filter cites Russ Cox's "Implementing Regular Expressions");
+//! * [`pipeline`] — the three worker cores: pattern filter, sliding-window
+//!   counter, and top-n ranker (quicksort-based);
+//! * [`actors`] — the actor wrappers and topology mapping table.
+
+pub mod actors;
+pub mod pipeline;
+pub mod regex;
+
+pub use actors::{deploy_rta, CounterActor, FilterActor, RankerActor, RtaDeployment};
+pub use pipeline::{Counter, Filter, Ranker};
+pub use regex::Regex;

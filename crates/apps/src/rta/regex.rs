@@ -1,0 +1,432 @@
+//! A Thompson-NFA regular expression engine.
+//!
+//! The RTA filter "applies a pattern matching module" — the paper's reference
+//! for it is Russ Cox's *Implementing Regular Expressions*, so this is the same
+//! construction: parse to postfix, compile to an NFA of split/char states,
+//! simulate with two state lists (no backtracking, linear time, immune to
+//! pathological patterns).
+//!
+//! Supported syntax: literals, `.`, `*`, `+`, `?`, alternation `|`, grouping
+//! `( )`.
+
+/// Compile-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// Unbalanced parentheses.
+    Parens,
+    /// Operator with no operand (e.g. leading `*`).
+    MissingOperand,
+    /// Empty pattern or empty alternative.
+    Empty,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    /// Match exactly this byte.
+    Byte(u8),
+    /// Match any byte.
+    Any,
+    /// Unconditional fork to two successors.
+    Split(usize, usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Node>,
+    /// Successor of each consuming state.
+    next: Vec<usize>,
+    start: usize,
+}
+
+// ---- parsing: explicit concatenation + shunting-yard to postfix ----
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Lit(u8),
+    Any,
+    Star,
+    Plus,
+    Quest,
+    Alt,
+    Concat,
+    Open,
+    Close,
+}
+
+fn tokenize(pat: &str) -> Result<Vec<Tok>, RegexError> {
+    let mut out = Vec::new();
+    let mut prev_atom = false;
+    let mut bytes = pat.bytes().peekable();
+    while let Some(b) = bytes.next() {
+        let tok = match b {
+            b'.' => Tok::Any,
+            b'*' => Tok::Star,
+            b'+' => Tok::Plus,
+            b'?' => Tok::Quest,
+            b'|' => Tok::Alt,
+            b'(' => Tok::Open,
+            b')' => Tok::Close,
+            b'\\' => Tok::Lit(bytes.next().ok_or(RegexError::MissingOperand)?),
+            c => Tok::Lit(c),
+        };
+        let is_atom_start = matches!(tok, Tok::Lit(_) | Tok::Any | Tok::Open);
+        if prev_atom && is_atom_start {
+            out.push(Tok::Concat);
+        }
+        prev_atom = matches!(
+            tok,
+            Tok::Lit(_) | Tok::Any | Tok::Close | Tok::Star | Tok::Plus | Tok::Quest
+        );
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+fn to_postfix(toks: Vec<Tok>) -> Result<Vec<Tok>, RegexError> {
+    fn prec(t: Tok) -> u8 {
+        match t {
+            Tok::Star | Tok::Plus | Tok::Quest => 3,
+            Tok::Concat => 2,
+            Tok::Alt => 1,
+            _ => 0,
+        }
+    }
+    let mut out = Vec::new();
+    let mut ops: Vec<Tok> = Vec::new();
+    for t in toks {
+        match t {
+            Tok::Lit(_) | Tok::Any => out.push(t),
+            Tok::Open => ops.push(t),
+            Tok::Close => loop {
+                match ops.pop() {
+                    Some(Tok::Open) => break,
+                    Some(op) => out.push(op),
+                    None => return Err(RegexError::Parens),
+                }
+            },
+            op => {
+                while let Some(&top) = ops.last() {
+                    if top != Tok::Open && prec(top) >= prec(op) {
+                        out.push(ops.pop().expect("non-empty"));
+                    } else {
+                        break;
+                    }
+                }
+                ops.push(op);
+            }
+        }
+    }
+    while let Some(op) = ops.pop() {
+        if op == Tok::Open {
+            return Err(RegexError::Parens);
+        }
+        out.push(op);
+    }
+    Ok(out)
+}
+
+// ---- compilation: Thompson fragments over an arena ----
+
+#[derive(Clone)]
+struct Frag {
+    start: usize,
+    /// Dangling out-arrows: (state, which-branch) to patch.
+    outs: Vec<(usize, u8)>,
+}
+
+impl Regex {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        if pattern.is_empty() {
+            return Err(RegexError::Empty);
+        }
+        let postfix = to_postfix(tokenize(pattern)?)?;
+        let mut prog: Vec<Node> = Vec::new();
+        let mut next: Vec<usize> = Vec::new();
+        let mut stack: Vec<Frag> = Vec::new();
+
+        let push_state = |prog: &mut Vec<Node>, next: &mut Vec<usize>, n: Node| -> usize {
+            prog.push(n);
+            next.push(usize::MAX);
+            prog.len() - 1
+        };
+        let patch = |prog: &mut Vec<Node>, next: &mut Vec<usize>, outs: &[(usize, u8)], to: usize| {
+            for &(s, branch) in outs {
+                match &mut prog[s] {
+                    Node::Split(a, b) => {
+                        if branch == 0 {
+                            *a = to;
+                        } else {
+                            *b = to;
+                        }
+                    }
+                    _ => next[s] = to,
+                }
+            }
+        };
+
+        for t in postfix {
+            match t {
+                Tok::Lit(c) => {
+                    let s = push_state(&mut prog, &mut next, Node::Byte(c));
+                    stack.push(Frag {
+                        start: s,
+                        outs: vec![(s, 0)],
+                    });
+                }
+                Tok::Any => {
+                    let s = push_state(&mut prog, &mut next, Node::Any);
+                    stack.push(Frag {
+                        start: s,
+                        outs: vec![(s, 0)],
+                    });
+                }
+                Tok::Concat => {
+                    let b = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    let a = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    patch(&mut prog, &mut next, &a.outs, b.start);
+                    stack.push(Frag {
+                        start: a.start,
+                        outs: b.outs,
+                    });
+                }
+                Tok::Alt => {
+                    let b = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    let a = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    let s = push_state(&mut prog, &mut next, Node::Split(a.start, b.start));
+                    let mut outs = a.outs;
+                    outs.extend(b.outs);
+                    stack.push(Frag { start: s, outs });
+                }
+                Tok::Star => {
+                    let a = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    let s = push_state(&mut prog, &mut next, Node::Split(a.start, usize::MAX));
+                    patch(&mut prog, &mut next, &a.outs, s);
+                    stack.push(Frag {
+                        start: s,
+                        outs: vec![(s, 1)],
+                    });
+                }
+                Tok::Plus => {
+                    let a = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    let s = push_state(&mut prog, &mut next, Node::Split(a.start, usize::MAX));
+                    patch(&mut prog, &mut next, &a.outs, s);
+                    stack.push(Frag {
+                        start: a.start,
+                        outs: vec![(s, 1)],
+                    });
+                }
+                Tok::Quest => {
+                    let a = stack.pop().ok_or(RegexError::MissingOperand)?;
+                    let s = push_state(&mut prog, &mut next, Node::Split(a.start, usize::MAX));
+                    let mut outs = a.outs;
+                    outs.push((s, 1));
+                    stack.push(Frag { start: s, outs });
+                }
+                Tok::Open | Tok::Close => unreachable!("removed by postfix conversion"),
+            }
+        }
+        let frag = stack.pop().ok_or(RegexError::Empty)?;
+        if !stack.is_empty() {
+            return Err(RegexError::MissingOperand);
+        }
+        let m = push_state(&mut prog, &mut next, Node::Match);
+        patch(&mut prog, &mut next, &frag.outs, m);
+        Ok(Regex {
+            prog,
+            next,
+            start: frag.start,
+        })
+    }
+
+    fn add_state(&self, list: &mut Vec<usize>, on: &mut [bool], s: usize) {
+        if s == usize::MAX || on[s] {
+            return;
+        }
+        on[s] = true;
+        if let Node::Split(a, b) = self.prog[s] {
+            self.add_state(list, on, a);
+            self.add_state(list, on, b);
+        } else {
+            list.push(s);
+        }
+    }
+
+    /// Anchored match: does the whole `text` match the pattern?
+    pub fn is_match(&self, text: &str) -> bool {
+        let mut cur = Vec::new();
+        let mut on = vec![false; self.prog.len()];
+        self.add_state(&mut cur, &mut on, self.start);
+        for &b in text.as_bytes() {
+            let mut nxt = Vec::new();
+            let mut on2 = vec![false; self.prog.len()];
+            for &s in &cur {
+                let hit = match self.prog[s] {
+                    Node::Byte(c) => c == b,
+                    Node::Any => true,
+                    _ => false,
+                };
+                if hit {
+                    self.add_state(&mut nxt, &mut on2, self.next[s]);
+                }
+            }
+            cur = nxt;
+            on = on2;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        let _ = on;
+        cur.iter().any(|&s| self.prog[s] == Node::Match)
+            || {
+                // Empty-remainder case: start state reaches Match via splits.
+                let mut l = Vec::new();
+                let mut o = vec![false; self.prog.len()];
+                for &s in &cur {
+                    self.add_state(&mut l, &mut o, s);
+                }
+                l.iter().any(|&s| self.prog[s] == Node::Match)
+            }
+    }
+
+    /// Unanchored search: does `text` contain a match anywhere?
+    pub fn find(&self, text: &str) -> bool {
+        // Run the NFA while continuously re-seeding the start state.
+        let mut cur = Vec::new();
+        let mut on = vec![false; self.prog.len()];
+        self.add_state(&mut cur, &mut on, self.start);
+        if cur.iter().any(|&s| self.prog[s] == Node::Match) {
+            return true;
+        }
+        for &b in text.as_bytes() {
+            let mut nxt = Vec::new();
+            let mut on2 = vec![false; self.prog.len()];
+            for &s in &cur {
+                let hit = match self.prog[s] {
+                    Node::Byte(c) => c == b,
+                    Node::Any => true,
+                    _ => false,
+                };
+                if hit {
+                    self.add_state(&mut nxt, &mut on2, self.next[s]);
+                }
+            }
+            // Re-seed for unanchored semantics.
+            self.add_state(&mut nxt, &mut on2, self.start);
+            if nxt.iter().any(|&s| self.prog[s] == Node::Match) {
+                return true;
+            }
+            cur = nxt;
+            on = on2;
+        }
+        let _ = on;
+        false
+    }
+
+    /// Number of NFA states (cost-model input for the filter actor).
+    pub fn states(&self) -> usize {
+        self.prog.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_concat() {
+        let re = Regex::new("abc").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("ab"));
+        assert!(!re.is_match("abcd"));
+        assert!(re.find("xxabcxx"));
+        assert!(!re.find("axbxc"));
+    }
+
+    #[test]
+    fn alternation() {
+        let re = Regex::new("cat|dog|bird").unwrap();
+        assert!(re.is_match("cat"));
+        assert!(re.is_match("dog"));
+        assert!(re.is_match("bird"));
+        assert!(!re.is_match("cow"));
+        assert!(re.find("hotdog stand"));
+    }
+
+    #[test]
+    fn star_plus_quest() {
+        let re = Regex::new("ab*c").unwrap();
+        assert!(re.is_match("ac"));
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("abbbbc"));
+        assert!(!re.is_match("a"));
+        let re = Regex::new("ab+c").unwrap();
+        assert!(!re.is_match("ac"));
+        assert!(re.is_match("abbc"));
+        let re = Regex::new("ab?c").unwrap();
+        assert!(re.is_match("ac"));
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("abbc"));
+    }
+
+    #[test]
+    fn dot_and_groups() {
+        let re = Regex::new("a.c").unwrap();
+        assert!(re.is_match("axc"));
+        assert!(!re.is_match("ac"));
+        let re = Regex::new("(ab)+").unwrap();
+        assert!(re.is_match("ab"));
+        assert!(re.is_match("ababab"));
+        assert!(!re.is_match("aba"));
+        let re = Regex::new("a(b|c)d").unwrap();
+        assert!(re.is_match("abd"));
+        assert!(re.is_match("acd"));
+        assert!(!re.is_match("aed"));
+    }
+
+    #[test]
+    fn escapes() {
+        let re = Regex::new(r"a\.b").unwrap();
+        assert!(re.is_match("a.b"));
+        assert!(!re.is_match("axb"));
+        let re = Regex::new(r"a\*").unwrap();
+        assert!(re.is_match("a*"));
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a?)^20 a^20 — catastrophic for backtrackers, fine for Thompson.
+        let pat = format!("{}{}", "a?".repeat(20), "a".repeat(20));
+        let re = Regex::new(&pat).unwrap();
+        assert!(re.is_match(&"a".repeat(20)));
+        assert!(re.is_match(&"a".repeat(30)));
+        assert!(!re.is_match(&"a".repeat(19)));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Regex::new("").unwrap_err(), RegexError::Empty);
+        assert_eq!(Regex::new("(ab").unwrap_err(), RegexError::Parens);
+        assert_eq!(Regex::new("ab)").unwrap_err(), RegexError::Parens);
+        assert_eq!(Regex::new("*a").unwrap_err(), RegexError::MissingOperand);
+    }
+
+    #[test]
+    fn empty_remainder_via_splits() {
+        let re = Regex::new("a*").unwrap();
+        assert!(re.is_match(""));
+        assert!(re.is_match("aaa"));
+        assert!(!re.is_match("b"));
+        assert!(re.find("bbb"), "a* matches the empty string anywhere");
+    }
+
+    #[test]
+    fn unanchored_find_mid_string() {
+        let re = Regex::new("go+al").unwrap();
+        assert!(re.find("what a goooal that was"));
+        assert!(!re.find("no gal here"));
+    }
+}

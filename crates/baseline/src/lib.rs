@@ -1,0 +1,13 @@
+//! The evaluation's comparison systems:
+//!
+//! * [`fig16`] — the standalone-scheduler experiment of §5.4: pure FCFS,
+//!   pure DRR, and the iPipe hybrid, driven open-loop on one SmartNIC;
+//! * [`floem`] — a Floem-flavoured static-offload runtime (§5.6): offloaded
+//!   elements are stationary regardless of traffic, with a NIC-side bypass
+//!   queue multiplexing overhead;
+//! * DPDK host-only baselines are built into the runtime itself
+//!   ([`ipipe::rt::RuntimeMode::HostDpdk`]) and exercised by the Fig 13–15
+//!   harness in `ipipe-bench`.
+
+pub mod fig16;
+pub mod floem;

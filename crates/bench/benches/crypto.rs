@@ -1,0 +1,52 @@
+//! Wall-clock benchmarks of the software crypto primitives behind the
+//! accelerator models (MD5, SHA-1, AES-256-CTR, CRC32) and the full IPSec
+//! datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipipe_apps::nf::ipsec::IpsecGateway;
+use ipipe_nicsim::crypto::aes::Aes;
+use ipipe_nicsim::crypto::{crc32, md5, sha1};
+
+fn bench_digests(c: &mut Criterion) {
+    let data = vec![0xABu8; 1024];
+    let mut g = c.benchmark_group("digests_1KB");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("md5", |b| b.iter(|| md5(&data)));
+    g.bench_function("sha1", |b| b.iter(|| sha1(&data)));
+    g.bench_function("crc32", |b| b.iter(|| crc32(&data)));
+    g.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes::new_256(&[7u8; 32]);
+    let mut g = c.benchmark_group("aes256_ctr");
+    for size in [64usize, 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            let mut buf = vec![0x5Au8; size];
+            b.iter(|| {
+                aes.ctr_transform(42, &mut buf);
+                buf[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ipsec(c: &mut Criterion) {
+    let mut tx = IpsecGateway::new(1, &[1; 32], &[2; 20]);
+    let mut rx = IpsecGateway::new(1, &[1; 32], &[2; 20]);
+    let payload = vec![0x33u8; 960];
+    let mut g = c.benchmark_group("ipsec_960B");
+    g.throughput(Throughput::Bytes(960));
+    g.bench_function("encap_decap", |b| {
+        b.iter(|| {
+            let pkt = tx.encapsulate(&payload);
+            rx.decapsulate(&pkt).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_digests, bench_aes, bench_ipsec);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Wall-clock benchmarks of the distributed protocols: Multi-Paxos commit
+//! rounds and OCC/2PC transactions (pure state machines, no simulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ipipe_apps::dt::txn::{partition, Coordinator, Participant, Step};
+use ipipe_apps::rkv::paxos::PaxosNode;
+use std::collections::VecDeque;
+
+fn bench_paxos_commit(c: &mut Criterion) {
+    c.bench_function("paxos_3way_commit_x64", |b| {
+        b.iter_batched(
+            || (0..3).map(|i| PaxosNode::new(i, 3)).collect::<Vec<_>>(),
+            |mut nodes| {
+                let mut q = VecDeque::new();
+                for i in 0..64u32 {
+                    for (to, m) in nodes[0].propose(i.to_le_bytes().to_vec()) {
+                        q.push_back((0u32, to, m));
+                    }
+                }
+                while let Some((from, to, m)) = q.pop_front() {
+                    for (dst, out) in nodes[to as usize].handle(from, m) {
+                        q.push_back((to, dst, out));
+                    }
+                }
+                nodes[0].drain_committed().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_occ_txn(c: &mut Criterion) {
+    fn key(i: u64) -> [u8; 16] {
+        let mut k = [0u8; 16];
+        k[8..].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+    c.bench_function("occ_2pc_txn_x64", |b| {
+        b.iter_batched(
+            || {
+                let coord = Coordinator::new(2);
+                let mut parts = vec![Participant::new(), Participant::new()];
+                for i in 0..512u64 {
+                    let k = key(i);
+                    parts[partition(&k, 2) as usize].store.insert(k, vec![0u8; 32]);
+                }
+                (coord, parts)
+            },
+            |(mut coord, mut parts)| {
+                let mut committed = 0;
+                for t in 1..=64u64 {
+                    let mut inbox =
+                        coord.begin(t, vec![key(t % 512), key((t + 7) % 512)], vec![(key((t + 13) % 512), vec![1u8; 32])]);
+                    loop {
+                        let mut next = Vec::new();
+                        let mut finished = false;
+                        for (p, m) in inbox.drain(..) {
+                            let r = parts[p as usize].handle(m);
+                            match coord.on_reply(p, r) {
+                                Step::Send(more) => next.extend(more),
+                                Step::Committed(_) => {
+                                    committed += 1;
+                                    finished = true;
+                                }
+                                Step::Aborted => finished = true,
+                                Step::Wait => {}
+                            }
+                        }
+                        if finished || next.is_empty() {
+                            break;
+                        }
+                        inbox = next;
+                    }
+                }
+                committed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_paxos_commit, bench_occ_txn);
+criterion_main!(benches);

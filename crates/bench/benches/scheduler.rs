@@ -1,0 +1,67 @@
+//! Wall-clock cost of the scheduler machinery itself (decision overhead per
+//! completion, DRR sweeps) plus a compact Fig 16 point as a regression.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ipipe::actor::Request;
+use ipipe::sched::{Discipline, Loc, NicScheduler, SchedConfig, Work};
+use ipipe_baseline::fig16::run_fig16;
+use ipipe_nicsim::CN2350;
+use ipipe_sim::SimTime;
+use ipipe_workload::service::{fig16_distribution, Dispersion, Fig16Card};
+
+fn req(actor: u32, token: u64) -> Request {
+    Request {
+        actor,
+        flow: token,
+        wire_size: 512,
+        arrived: SimTime::ZERO,
+        reply_to: None,
+        token,
+        payload: None,
+    }
+}
+
+fn bench_sched_hot_path(c: &mut Criterion) {
+    c.bench_function("sched_arrival_dispatch_complete_x256", |b| {
+        b.iter_batched(
+            || {
+                let cfg = SchedConfig::for_nic(&CN2350).no_migration();
+                let mut s = NicScheduler::new(&CN2350, cfg);
+                for a in 0..8 {
+                    s.register(a, 512, Loc::Nic);
+                }
+                s
+            },
+            |mut s| {
+                let mut served = 0u64;
+                for i in 0..256u64 {
+                    s.on_arrival(SimTime::from_us(i), req((i % 8) as u32, i));
+                    if let Some(Work::Exec(r)) = s.next_for_core(SimTime::from_us(i), (i % 12) as u32)
+                    {
+                        s.on_complete(
+                            SimTime::from_us(i + 10),
+                            (i % 12) as u32,
+                            r.actor,
+                            SimTime::from_us(10),
+                            SimTime::from_us(8),
+                        );
+                        served += 1;
+                    }
+                    let _ = s.take_actions();
+                }
+                served
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig16_point(c: &mut Criterion) {
+    let dist = fig16_distribution(Fig16Card::LiquidIo, Dispersion::High);
+    c.bench_function("fig16_hybrid_load07_10k", |b| {
+        b.iter(|| run_fig16(&CN2350, dist, Discipline::Hybrid, 0.7, 8, 10_000, 3).completed)
+    });
+}
+
+criterion_group!(benches, bench_sched_hot_path, bench_fig16_point);
+criterion_main!(benches);

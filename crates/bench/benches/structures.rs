@@ -1,0 +1,201 @@
+//! Criterion wall-clock benchmarks of the pure-software data structures —
+//! performance regressions for the library, distinct from the simulated
+//! figure reproductions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ipipe::dmo::{DmoTable, Side};
+use ipipe::skiplist::DmoSkipList;
+use ipipe_apps::dt::store::ExtHashTable;
+use ipipe_apps::micro::{KvCache, LpmRouter, MaglevBalancer, PFabricScheduler};
+use ipipe_apps::nf::tcam::{FiveTuple, Tcam};
+use ipipe_apps::rkv::lsm::Levels;
+use ipipe_apps::rta::regex::Regex;
+use ipipe_sim::DetRng;
+
+fn key16(i: u64) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k[8..].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+fn bench_skiplist(c: &mut Criterion) {
+    c.bench_function("dmo_skiplist_insert_get", |b| {
+        b.iter_batched(
+            || {
+                let mut t = DmoTable::new(Side::Nic, 0);
+                t.register_region(1, 64 << 20);
+                let mut rng = DetRng::new(1);
+                let mut dmo = t.scoped(1);
+                let sl = DmoSkipList::create(&mut dmo).unwrap();
+                drop(dmo);
+                (t, sl, rng.fork())
+            },
+            |(mut t, mut sl, mut rng)| {
+                let mut dmo = t.scoped(1);
+                for i in 0..512u64 {
+                    sl.insert(&mut dmo, &mut rng, &key16(i), b"value-bytes").unwrap();
+                }
+                for i in 0..512u64 {
+                    let _ = sl.get(&mut dmo, &key16(i)).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_exthash(c: &mut Criterion) {
+    c.bench_function("exthash_insert_get_1k", |b| {
+        b.iter(|| {
+            let mut t: ExtHashTable<u64> = ExtHashTable::new(8);
+            for i in 0..1024u64 {
+                t.insert(i, i.to_le_bytes().to_vec());
+            }
+            let mut hits = 0;
+            for i in 0..1024u64 {
+                if t.get(&i).is_some() {
+                    hits += 1;
+                }
+            }
+            assert_eq!(hits, 1024);
+        })
+    });
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    c.bench_function("lsm_flush_and_get", |b| {
+        b.iter(|| {
+            let mut l = Levels::new(64 * 1024, 10);
+            for batch in 0..8u64 {
+                let entries: Vec<_> = (0..256)
+                    .map(|i| (key16(batch * 256 + i), Some(vec![7u8; 64])))
+                    .collect();
+                l.flush_memtable(entries);
+            }
+            let mut found = 0;
+            for i in (0..2048).step_by(7) {
+                if l.get(&key16(i)).is_some() {
+                    found += 1;
+                }
+            }
+            assert!(found > 0);
+        })
+    });
+}
+
+fn bench_tcam(c: &mut Criterion) {
+    let t = Tcam::synthetic(8192, 9);
+    let mut rng = DetRng::new(4);
+    let pkts: Vec<FiveTuple> = (0..256)
+        .map(|_| FiveTuple {
+            src_ip: rng.below(1 << 32) as u32,
+            dst_ip: 0,
+            src_port: 0,
+            dst_port: rng.below(65536) as u16,
+            proto: 6,
+        })
+        .collect();
+    c.bench_function("tcam_8k_lookup_x256", |b| {
+        b.iter(|| {
+            let mut banks = 0;
+            for p in &pkts {
+                banks += t.lookup(p).1;
+            }
+            banks
+        })
+    });
+}
+
+fn bench_maglev(c: &mut Criterion) {
+    c.bench_function("maglev_build_65537x8", |b| {
+        b.iter(|| MaglevBalancer::new(65_537, 8).table_len())
+    });
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let r = LpmRouter::table3();
+    let mut rng = DetRng::new(5);
+    let addrs: Vec<u32> = (0..1024).map(|_| rng.below(1 << 32) as u32).collect();
+    c.bench_function("lpm_100k_routes_lookup_x1024", |b| {
+        b.iter(|| {
+            let mut nh = 0u64;
+            for &a in &addrs {
+                nh = nh.wrapping_add(r.lookup(a).0.unwrap_or(0) as u64);
+            }
+            nh
+        })
+    });
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = Regex::new("goal|launch|election|storm").unwrap();
+    let texts: Vec<String> = (0..128)
+        .map(|i| format!("tuple number {i} with some chatter about the game and a goal maybe"))
+        .collect();
+    c.bench_function("regex_nfa_find_x128", |b| {
+        b.iter(|| texts.iter().filter(|t| re.find(t)).count())
+    });
+}
+
+fn bench_pfabric_and_kvcache(c: &mut Criterion) {
+    c.bench_function("pfabric_insert_pop_x1k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = PFabricScheduler::new();
+                let mut rng = DetRng::new(6);
+                for _ in 0..4096 {
+                    s.insert(rng.below(1 << 20), rng.below(1 << 30));
+                }
+                (s, rng.fork())
+            },
+            |(mut s, mut rng)| {
+                for _ in 0..1024 {
+                    s.insert(rng.below(1 << 20), rng.below(1 << 30));
+                    s.pop_min();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("kvcache_mixed_ops_x1k", |b| {
+        b.iter_batched(
+            || {
+                let mut kv = KvCache::new(8192);
+                for i in 0..2048u64 {
+                    let mut k = [0u8; 16];
+                    k[..8].copy_from_slice(&i.to_le_bytes());
+                    kv.put(k, [0; 32]);
+                }
+                (kv, DetRng::new(7))
+            },
+            |(mut kv, mut rng)| {
+                for _ in 0..1024 {
+                    let mut k = [0u8; 16];
+                    k[..8].copy_from_slice(&rng.below(2048).to_le_bytes());
+                    match rng.below(10) {
+                        0..=7 => {
+                            kv.get(&k);
+                        }
+                        _ => {
+                            kv.put(k, [1; 32]);
+                        }
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_skiplist,
+    bench_exthash,
+    bench_lsm,
+    bench_tcam,
+    bench_maglev,
+    bench_lpm,
+    bench_regex,
+    bench_pfabric_and_kvcache,
+);
+criterion_main!(benches);

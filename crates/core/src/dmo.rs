@@ -1,0 +1,551 @@
+//! Distributed memory objects (§3.3, Fig 12a).
+//!
+//! A DMO is a chunk of memory owned by exactly one actor, addressed by an
+//! *object ID* rather than a pointer, so its physical location can change
+//! (NIC ↔ host) during actor migration without touching actor state. Both
+//! sides keep an object table; at any instant a DMO has exactly one copy.
+//! Reads and writes are always local — iPipe never lets an actor touch an
+//! object across PCIe (remote memory is ~10× slower, §2.2).
+//!
+//! Isolation (§3.4): each registered actor gets a fixed-capacity region;
+//! allocations beyond it fail, and any access to an object the actor does
+//! not own traps ([`DmoError::Protection`] — the software-managed-TLB trap
+//! on the LiquidIO firmware).
+
+use crate::actor::ActorId;
+use ipipe_sim::SimTime;
+use std::collections::HashMap;
+
+/// Which side of the PCIe bus an object currently lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// SmartNIC onboard DRAM.
+    Nic,
+    /// Host DRAM.
+    Host,
+}
+
+/// Handle to a distributed memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The null object (never allocated).
+    pub const NULL: ObjectId = ObjectId(0);
+
+    /// True for the null handle.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// DMO operation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmoError {
+    /// The actor's region is exhausted (§3.3: "the DMO allocation will fail").
+    OutOfMemory {
+        /// Requesting actor.
+        actor: ActorId,
+    },
+    /// Access to an object the actor does not own — the simulated TLB trap.
+    Protection {
+        /// Offending actor.
+        actor: ActorId,
+        /// Object it tried to touch.
+        object: ObjectId,
+    },
+    /// Unknown or freed object.
+    NoSuchObject(ObjectId),
+    /// Offset/length outside the object.
+    OutOfBounds {
+        /// Object accessed.
+        object: ObjectId,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+    },
+}
+
+struct DmoEntry {
+    owner: ActorId,
+    side: Side,
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    capacity: u64,
+    used: u64,
+}
+
+/// Counters of DMO traffic since the last drain — the runtime converts these
+/// into modeled memory time (and they are the source of the framework's
+/// "DMO address translation" overhead in Fig 17).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmoTraffic {
+    /// Object-table lookups performed.
+    pub lookups: u64,
+    /// Bytes read or written.
+    pub bytes: u64,
+}
+
+/// The per-node object table.
+pub struct DmoTable {
+    default_side: Side,
+    objects: HashMap<u64, DmoEntry>,
+    regions: HashMap<ActorId, Region>,
+    next_id: u64,
+    traffic: DmoTraffic,
+}
+
+impl DmoTable {
+    /// New table; actors registered later get `default_region` bytes each
+    /// unless overridden.
+    pub fn new(default_side: Side, _default_region: u64) -> DmoTable {
+        DmoTable {
+            default_side,
+            objects: HashMap::new(),
+            regions: HashMap::new(),
+            next_id: 1,
+            traffic: DmoTraffic::default(),
+        }
+    }
+
+    /// Register an actor's region of `capacity` bytes (§3.3 initialization:
+    /// "large equal-sized chunks of memory regions for each registered
+    /// actor" — the LiquidIO "global bootmem region").
+    pub fn register_region(&mut self, actor: ActorId, capacity: u64) {
+        self.regions.insert(actor, Region { capacity, used: 0 });
+    }
+
+    /// Remove an actor's region and free all of its objects (actor teardown
+    /// or DoS deregistration, §3.4).
+    pub fn drop_actor(&mut self, actor: ActorId) {
+        self.objects.retain(|_, e| e.owner != actor);
+        self.regions.remove(&actor);
+    }
+
+    /// Allocate a DMO of `size` bytes for `actor`.
+    pub fn malloc(&mut self, actor: ActorId, size: u64) -> Result<ObjectId, DmoError> {
+        let region = self
+            .regions
+            .get_mut(&actor)
+            .ok_or(DmoError::OutOfMemory { actor })?;
+        if region.used + size > region.capacity {
+            return Err(DmoError::OutOfMemory { actor });
+        }
+        region.used += size;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.objects.insert(
+            id,
+            DmoEntry {
+                owner: actor,
+                side: self.default_side,
+                data: vec![0; size as usize],
+            },
+        );
+        Ok(ObjectId(id))
+    }
+
+    /// Free a DMO.
+    pub fn free(&mut self, actor: ActorId, obj: ObjectId) -> Result<(), DmoError> {
+        self.check_owner(actor, obj)?;
+        let entry = self.objects.remove(&obj.0).expect("checked");
+        if let Some(r) = self.regions.get_mut(&actor) {
+            r.used = r.used.saturating_sub(entry.data.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn check_owner(&self, actor: ActorId, obj: ObjectId) -> Result<(), DmoError> {
+        match self.objects.get(&obj.0) {
+            None => Err(DmoError::NoSuchObject(obj)),
+            Some(e) if e.owner != actor => Err(DmoError::Protection { actor, object: obj }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn entry(&mut self, actor: ActorId, obj: ObjectId) -> Result<&mut DmoEntry, DmoError> {
+        self.check_owner(actor, obj)?;
+        self.traffic.lookups += 1;
+        Ok(self.objects.get_mut(&obj.0).expect("checked"))
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub fn read(
+        &mut self,
+        actor: ActorId,
+        obj: ObjectId,
+        offset: u64,
+        len: u64,
+    ) -> Result<&[u8], DmoError> {
+        let entry = self.entry(actor, obj)?;
+        let end = offset + len;
+        if end > entry.data.len() as u64 {
+            return Err(DmoError::OutOfBounds {
+                object: obj,
+                offset,
+                len,
+            });
+        }
+        self.traffic.bytes += len;
+        let entry = self.objects.get(&obj.0).expect("checked");
+        Ok(&entry.data[offset as usize..end as usize])
+    }
+
+    /// Write `bytes` at `offset`.
+    pub fn write(
+        &mut self,
+        actor: ActorId,
+        obj: ObjectId,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<(), DmoError> {
+        let entry = self.entry(actor, obj)?;
+        let end = offset + bytes.len() as u64;
+        if end > entry.data.len() as u64 {
+            return Err(DmoError::OutOfBounds {
+                object: obj,
+                offset,
+                len: bytes.len() as u64,
+            });
+        }
+        entry.data[offset as usize..end as usize].copy_from_slice(bytes);
+        self.traffic.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// `dmo_mmset`: fill `len` bytes at `offset` with `value`.
+    pub fn memset(
+        &mut self,
+        actor: ActorId,
+        obj: ObjectId,
+        offset: u64,
+        value: u8,
+        len: u64,
+    ) -> Result<(), DmoError> {
+        let entry = self.entry(actor, obj)?;
+        let end = offset + len;
+        if end > entry.data.len() as u64 {
+            return Err(DmoError::OutOfBounds {
+                object: obj,
+                offset,
+                len,
+            });
+        }
+        entry.data[offset as usize..end as usize].fill(value);
+        self.traffic.bytes += len;
+        Ok(())
+    }
+
+    /// `dmo_mmcpy`: copy between two objects of the same actor.
+    pub fn memcpy(
+        &mut self,
+        actor: ActorId,
+        src: ObjectId,
+        src_off: u64,
+        dst: ObjectId,
+        dst_off: u64,
+        len: u64,
+    ) -> Result<(), DmoError> {
+        let data = self.read(actor, src, src_off, len)?.to_vec();
+        self.write(actor, dst, dst_off, &data)
+    }
+
+    /// `dmo_mmmove`: like memcpy but tolerates overlap within one object.
+    pub fn memmove(
+        &mut self,
+        actor: ActorId,
+        obj: ObjectId,
+        src_off: u64,
+        dst_off: u64,
+        len: u64,
+    ) -> Result<(), DmoError> {
+        let data = self.read(actor, obj, src_off, len)?.to_vec();
+        self.write(actor, obj, dst_off, &data)
+    }
+
+    /// Size of an object.
+    pub fn size_of(&self, actor: ActorId, obj: ObjectId) -> Result<u64, DmoError> {
+        self.check_owner(actor, obj)?;
+        Ok(self.objects[&obj.0].data.len() as u64)
+    }
+
+    /// Which side an object currently lives on.
+    pub fn side_of(&self, obj: ObjectId) -> Option<Side> {
+        self.objects.get(&obj.0).map(|e| e.side)
+    }
+
+    /// All objects owned by `actor` with their sizes (migration phase 3
+    /// collects these).
+    pub fn objects_of(&self, actor: ActorId) -> Vec<(ObjectId, u64)> {
+        let mut v: Vec<_> = self
+            .objects
+            .iter()
+            .filter(|(_, e)| e.owner == actor)
+            .map(|(&id, e)| (ObjectId(id), e.data.len() as u64))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes of `actor`'s objects.
+    pub fn actor_state_bytes(&self, actor: ActorId) -> u64 {
+        self.objects
+            .values()
+            .filter(|e| e.owner == actor)
+            .map(|e| e.data.len() as u64)
+            .sum()
+    }
+
+    /// `dmo_migrate`: flip the side of every object of `actor`. Data moves
+    /// with the entry (the simulation keeps one copy, like the real system).
+    /// Returns the number of bytes that crossed PCIe.
+    pub fn migrate_actor(&mut self, actor: ActorId, to: Side) -> u64 {
+        let mut moved = 0;
+        for e in self.objects.values_mut() {
+            if e.owner == actor && e.side != to {
+                e.side = to;
+                moved += e.data.len() as u64;
+            }
+        }
+        moved
+    }
+
+    /// Region occupancy for an actor: (used, capacity).
+    pub fn region_usage(&self, actor: ActorId) -> Option<(u64, u64)> {
+        self.regions.get(&actor).map(|r| (r.used, r.capacity))
+    }
+
+    /// Drain the DMO traffic counters accumulated since the last call.
+    pub fn take_traffic(&mut self) -> DmoTraffic {
+        std::mem::take(&mut self.traffic)
+    }
+
+    /// Borrow the table scoped to one actor (what `ActorCtx::dmo` hands out).
+    pub fn scoped(&mut self, actor: ActorId) -> ActorDmo<'_> {
+        ActorDmo { table: self, actor }
+    }
+}
+
+/// The DMO API surface an actor sees: the same operations with the actor id
+/// bound, so ownership checks are automatic.
+pub struct ActorDmo<'a> {
+    table: &'a mut DmoTable,
+    actor: ActorId,
+}
+
+impl ActorDmo<'_> {
+    /// Allocate an object in this actor's region.
+    pub fn malloc(&mut self, size: u64) -> Result<ObjectId, DmoError> {
+        self.table.malloc(self.actor, size)
+    }
+
+    /// Free an object.
+    pub fn free(&mut self, obj: ObjectId) -> Result<(), DmoError> {
+        self.table.free(self.actor, obj)
+    }
+
+    /// Read bytes.
+    pub fn read(&mut self, obj: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, DmoError> {
+        self.table.read(self.actor, obj, offset, len).map(|s| s.to_vec())
+    }
+
+    /// Read a little-endian u64.
+    pub fn read_u64(&mut self, obj: ObjectId, offset: u64) -> Result<u64, DmoError> {
+        let b = self.table.read(self.actor, obj, offset, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Write bytes.
+    pub fn write(&mut self, obj: ObjectId, offset: u64, bytes: &[u8]) -> Result<(), DmoError> {
+        self.table.write(self.actor, obj, offset, bytes)
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&mut self, obj: ObjectId, offset: u64, v: u64) -> Result<(), DmoError> {
+        self.table.write(self.actor, obj, offset, &v.to_le_bytes())
+    }
+
+    /// `dmo_mmset`.
+    pub fn memset(&mut self, obj: ObjectId, offset: u64, value: u8, len: u64) -> Result<(), DmoError> {
+        self.table.memset(self.actor, obj, offset, value, len)
+    }
+
+    /// `dmo_mmcpy`.
+    pub fn memcpy(
+        &mut self,
+        src: ObjectId,
+        src_off: u64,
+        dst: ObjectId,
+        dst_off: u64,
+        len: u64,
+    ) -> Result<(), DmoError> {
+        self.table.memcpy(self.actor, src, src_off, dst, dst_off, len)
+    }
+
+    /// Object size.
+    pub fn size_of(&mut self, obj: ObjectId) -> Result<u64, DmoError> {
+        self.table.size_of(self.actor, obj)
+    }
+
+    /// The owning actor id.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+}
+
+/// Estimated PCIe transfer time for moving `bytes` of DMO state, using
+/// batched non-blocking writes at the effective streaming bandwidth
+/// (migration phase 3, Fig 18: a 32 MB Memtable takes ~36 ms).
+pub fn migration_transfer_time(bytes: u64, streaming_bw_bytes_per_s: f64) -> SimTime {
+    SimTime::from_secs_f64(bytes as f64 / streaming_bw_bytes_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(actor: ActorId, cap: u64) -> DmoTable {
+        let mut t = DmoTable::new(Side::Nic, cap);
+        t.register_region(actor, cap);
+        t
+    }
+
+    #[test]
+    fn malloc_read_write_roundtrip() {
+        let mut t = table_with(1, 4096);
+        let o = t.malloc(1, 128).unwrap();
+        t.write(1, o, 16, b"hello dmo").unwrap();
+        assert_eq!(t.read(1, o, 16, 9).unwrap(), b"hello dmo");
+        assert_eq!(t.size_of(1, o).unwrap(), 128);
+        assert_eq!(t.side_of(o), Some(Side::Nic));
+    }
+
+    #[test]
+    fn region_capacity_enforced() {
+        let mut t = table_with(1, 1000);
+        let a = t.malloc(1, 600).unwrap();
+        assert_eq!(t.malloc(1, 600), Err(DmoError::OutOfMemory { actor: 1 }));
+        // Freeing returns capacity.
+        t.free(1, a).unwrap();
+        assert!(t.malloc(1, 600).is_ok());
+    }
+
+    #[test]
+    fn unregistered_actor_cannot_allocate() {
+        let mut t = DmoTable::new(Side::Nic, 0);
+        assert_eq!(t.malloc(9, 64), Err(DmoError::OutOfMemory { actor: 9 }));
+    }
+
+    #[test]
+    fn cross_actor_access_traps() {
+        let mut t = table_with(1, 4096);
+        t.register_region(2, 4096);
+        let o = t.malloc(1, 64).unwrap();
+        assert_eq!(
+            t.read(2, o, 0, 8).unwrap_err(),
+            DmoError::Protection { actor: 2, object: o }
+        );
+        assert_eq!(
+            t.write(2, o, 0, b"x").unwrap_err(),
+            DmoError::Protection { actor: 2, object: o }
+        );
+        assert_eq!(
+            t.free(2, o).unwrap_err(),
+            DmoError::Protection { actor: 2, object: o }
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut t = table_with(1, 4096);
+        let o = t.malloc(1, 64).unwrap();
+        assert!(matches!(
+            t.read(1, o, 60, 8).unwrap_err(),
+            DmoError::OutOfBounds { .. }
+        ));
+        assert!(matches!(
+            t.write(1, o, 64, b"y").unwrap_err(),
+            DmoError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn memset_memcpy_memmove() {
+        let mut t = table_with(1, 4096);
+        let a = t.malloc(1, 32).unwrap();
+        let b = t.malloc(1, 32).unwrap();
+        t.memset(1, a, 0, 0xAB, 32).unwrap();
+        t.memcpy(1, a, 0, b, 8, 16).unwrap();
+        assert_eq!(t.read(1, b, 8, 16).unwrap(), &[0xAB; 16]);
+        assert_eq!(t.read(1, b, 0, 8).unwrap(), &[0u8; 8]);
+        // Overlapping move within a.
+        t.write(1, a, 0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        t.memmove(1, a, 0, 4, 8).unwrap();
+        assert_eq!(t.read(1, a, 4, 8).unwrap(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn migrate_actor_flips_sides_and_counts_bytes() {
+        let mut t = table_with(1, 1 << 20);
+        t.register_region(2, 1 << 20);
+        let a = t.malloc(1, 1000).unwrap();
+        let b = t.malloc(1, 500).unwrap();
+        let other = t.malloc(2, 400).unwrap();
+        let moved = t.migrate_actor(1, Side::Host);
+        assert_eq!(moved, 1500);
+        assert_eq!(t.side_of(a), Some(Side::Host));
+        assert_eq!(t.side_of(b), Some(Side::Host));
+        assert_eq!(t.side_of(other), Some(Side::Nic));
+        // Idempotent: nothing left to move.
+        assert_eq!(t.migrate_actor(1, Side::Host), 0);
+        // Data survives migration.
+        t.write(1, a, 0, b"persist").unwrap();
+        let _ = t.migrate_actor(1, Side::Nic);
+        assert_eq!(t.read(1, a, 0, 7).unwrap(), b"persist");
+    }
+
+    #[test]
+    fn objects_of_and_state_bytes() {
+        let mut t = table_with(1, 1 << 20);
+        let a = t.malloc(1, 100).unwrap();
+        let b = t.malloc(1, 200).unwrap();
+        assert_eq!(t.objects_of(1), vec![(a, 100), (b, 200)]);
+        assert_eq!(t.actor_state_bytes(1), 300);
+        t.drop_actor(1);
+        assert_eq!(t.actor_state_bytes(1), 0);
+        assert_eq!(t.region_usage(1), None);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate_and_drain() {
+        let mut t = table_with(1, 4096);
+        let o = t.malloc(1, 64).unwrap();
+        t.write(1, o, 0, &[0; 32]).unwrap();
+        let _ = t.read(1, o, 0, 16).unwrap();
+        let traffic = t.take_traffic();
+        assert_eq!(traffic.lookups, 2);
+        assert_eq!(traffic.bytes, 48);
+        assert_eq!(t.take_traffic(), DmoTraffic::default());
+    }
+
+    #[test]
+    fn scoped_view_binds_actor() {
+        let mut t = table_with(7, 4096);
+        let mut view = t.scoped(7);
+        let o = view.malloc(16).unwrap();
+        view.write_u64(o, 0, 0xDEADBEEF).unwrap();
+        assert_eq!(view.read_u64(o, 0).unwrap(), 0xDEADBEEF);
+        assert_eq!(view.actor(), 7);
+    }
+
+    #[test]
+    fn migration_transfer_time_math() {
+        // 32MB at 0.9GB/s ~ 35.6ms — phase 3 of the LSM Memtable actor.
+        let t = migration_transfer_time(32 << 20, 0.9e9);
+        assert!((t.as_ms_f64() - 37.3).abs() < 2.0, "t={t}");
+    }
+}

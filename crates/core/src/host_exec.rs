@@ -1,0 +1,232 @@
+//! The host-side execution pool (§5.1): "On the host side, we use pthreads
+//! for iPipe execution ... Each runtime thread periodically polls requests
+//! from the channel and performs actor execution."
+//!
+//! Unlike the rest of the runtime (which executes under simulated time),
+//! this module is *real threads over real rings*: worker threads drain an
+//! MPMC injector, and a poller thread moves messages from a shared
+//! [`RingBuffer`] into the pool — the host half of
+//! the §3.5 I/O channel as it would actually be deployed. It is used by the
+//! wall-clock benches and is a usable building block for embedding the
+//! framework in a real host process.
+
+use crate::ring::RingBuffer;
+pub use bytes::Bytes;
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of host work: the message payload plus its handler.
+pub type HostTask = Box<dyn FnOnce(Bytes) + Send>;
+
+struct Shared {
+    queue: SegQueue<(Bytes, HostTask)>,
+    shutdown: AtomicBool,
+    processed: AtomicU64,
+}
+
+/// A pool of host runtime threads.
+pub struct HostPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HostPool {
+    /// Spawn `threads` runtime threads.
+    pub fn new(threads: usize) -> HostPool {
+        assert!(threads >= 1);
+        let shared = Arc::new(Shared {
+            queue: SegQueue::new(),
+            shutdown: AtomicBool::new(false),
+            processed: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let sh = shared.clone();
+                std::thread::spawn(move || loop {
+                    match sh.queue.pop() {
+                        Some((payload, task)) => {
+                            task(payload);
+                            sh.processed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if sh.shutdown.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        HostPool { shared, workers }
+    }
+
+    /// Submit one task.
+    pub fn submit(&self, payload: Bytes, task: HostTask) {
+        self.shared.queue.push((payload, task));
+    }
+
+    /// Tasks completed so far.
+    pub fn processed(&self) -> u64 {
+        self.shared.processed.load(Ordering::Relaxed)
+    }
+
+    /// Block until `n` tasks have completed (spin-waits; bench/test helper).
+    pub fn wait_for(&self, n: u64) {
+        while self.processed() < n {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Signal shutdown and join all workers (also runs on drop).
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HostPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A thread-safe ring endpoint: the producer side is called from a NIC/driver
+/// thread, the consumer side from the host poller.
+pub struct SharedRing {
+    inner: Arc<Mutex<RingBuffer>>,
+}
+
+impl SharedRing {
+    /// A shared ring of `capacity` bytes.
+    pub fn new(capacity: u64) -> SharedRing {
+        SharedRing {
+            inner: Arc::new(Mutex::new(RingBuffer::new(capacity))),
+        }
+    }
+
+    /// Clone the handle (both sides share the buffer).
+    pub fn handle(&self) -> SharedRing {
+        SharedRing {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Producer: push a message; returns false when the (lazily synced) ring
+    /// is full and the caller should back off.
+    pub fn push(&self, payload: &[u8]) -> bool {
+        self.inner.lock().push(payload).is_ok()
+    }
+
+    /// Consumer: poll one message.
+    pub fn poll(&self) -> Option<Vec<u8>> {
+        self.inner.lock().pop().ok().flatten().map(|(m, _)| m)
+    }
+
+    /// Messages accepted so far.
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().pushed()
+    }
+}
+
+/// Spawn the §5.1 polling loop: a dedicated thread that drains `ring` and
+/// hands each message to `pool` with `handler`. Returns a stop function that
+/// joins the poller.
+pub fn spawn_poller(
+    ring: SharedRing,
+    pool: Arc<HostPool>,
+    handler: Arc<dyn Fn(Bytes) + Send + Sync>,
+) -> impl FnOnce() {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let join = std::thread::spawn(move || loop {
+        let mut drained = false;
+        while let Some(msg) = ring.poll() {
+            drained = true;
+            let h = handler.clone();
+            pool.submit(Bytes::from(msg), Box::new(move |b| h(b)));
+        }
+        if !drained {
+            if stop2.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    });
+    move || {
+        stop.store(true, Ordering::Release);
+        let _ = join.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_all_tasks_across_threads() {
+        let pool = HostPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..10_000u64 {
+            let c = counter.clone();
+            pool.submit(
+                Bytes::from(i.to_le_bytes().to_vec()),
+                Box::new(move |b| {
+                    let v = u64::from_le_bytes(b[..8].try_into().unwrap());
+                    c.fetch_add(v % 7 + 1, Ordering::Relaxed);
+                }),
+            );
+        }
+        pool.wait_for(10_000);
+        assert_eq!(pool.processed(), 10_000);
+        let expect: u64 = (0..10_000u64).map(|i| i % 7 + 1).sum();
+        assert_eq!(counter.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_is_idempotent() {
+        let mut pool = HostPool::new(2);
+        pool.submit(Bytes::new(), Box::new(|_| {}));
+        pool.wait_for(1);
+        pool.shutdown();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn ring_poller_feeds_the_pool() {
+        let ring = SharedRing::new(64 * 1024);
+        let pool = Arc::new(HostPool::new(2));
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        let stop = spawn_poller(
+            ring.handle(),
+            pool.clone(),
+            Arc::new(move |b: Bytes| {
+                seen2.fetch_add(b.len() as u64, Ordering::Relaxed);
+            }),
+        );
+        // Producer thread (the "NIC side" writing over PCIe).
+        let producer_ring = ring.handle();
+        let producer = std::thread::spawn(move || {
+            let msg = [0xA5u8; 100];
+            let mut sent = 0;
+            while sent < 2_000 {
+                if producer_ring.push(&msg) {
+                    sent += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        producer.join().unwrap();
+        pool.wait_for(2_000);
+        stop();
+        assert_eq!(seen.load(Ordering::Relaxed), 2_000 * 100);
+        assert_eq!(ring.pushed(), 2_000);
+    }
+}

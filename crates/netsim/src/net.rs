@@ -1,0 +1,188 @@
+//! The link/switch timing oracle.
+
+use crate::packet::Packet;
+#[cfg(test)]
+use crate::packet::NodeId;
+use ipipe_nicsim::spec::WIRE_OVERHEAD_BYTES;
+use ipipe_sim::SimTime;
+
+/// A star topology: every node hangs off one ToR switch (Arista DCS-7050S /
+/// Cavium XP70 in the paper's testbed) with a full-duplex link of
+/// `link_gbps`.
+#[derive(Debug, Clone)]
+pub struct NetModel {
+    link_gbps: f64,
+    /// Cut-through switch forwarding latency.
+    switch_latency: SimTime,
+    /// Cable propagation (short intra-rack runs).
+    propagation: SimTime,
+    /// Per-node egress port busy-until.
+    tx_free: Vec<SimTime>,
+    /// Per-node ingress port busy-until.
+    rx_free: Vec<SimTime>,
+    /// Bytes moved, for throughput accounting.
+    bytes_sent: u64,
+    packets_sent: u64,
+}
+
+impl NetModel {
+    /// Build a star of `nodes` nodes with the given link speed.
+    pub fn new(nodes: usize, link_gbps: f64) -> NetModel {
+        assert!(nodes >= 2, "need at least two nodes");
+        assert!(link_gbps > 0.0);
+        NetModel {
+            link_gbps,
+            switch_latency: SimTime::from_ns(450),
+            propagation: SimTime::from_ns(50),
+            tx_free: vec![SimTime::ZERO; nodes],
+            rx_free: vec![SimTime::ZERO; nodes],
+            bytes_sent: 0,
+            packets_sent: 0,
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.tx_free.len()
+    }
+
+    /// Link speed in Gbit/s.
+    pub fn link_gbps(&self) -> f64 {
+        self.link_gbps
+    }
+
+    /// On-wire serialization time of a frame (payload + Ethernet overhead).
+    pub fn wire_time(&self, size: u32) -> SimTime {
+        let bits = ((size + WIRE_OVERHEAD_BYTES) * 8) as f64;
+        SimTime::from_secs_f64(bits / (self.link_gbps * 1e9))
+    }
+
+    /// Account a packet handed to the source NIC at `now`; returns when its
+    /// last byte arrives at the destination NIC.
+    ///
+    /// Serialization happens on the egress link, then the switch cuts
+    /// through, then the ingress link is occupied for another serialization
+    /// period (head-of-line behaviour of a store-and-forward ToR is
+    /// approximated by the ingress occupancy).
+    pub fn transfer(&mut self, now: SimTime, pkt: &Packet) -> SimTime {
+        let (s, d) = (pkt.src.0 as usize, pkt.dst.0 as usize);
+        assert!(s < self.nodes() && d < self.nodes(), "unknown node");
+        assert_ne!(s, d, "loopback packets never reach the wire");
+        let wire = self.wire_time(pkt.size);
+
+        let tx_start = now.max(self.tx_free[s]);
+        let tx_end = tx_start + wire;
+        self.tx_free[s] = tx_end;
+
+        let rx_start = (tx_end + self.switch_latency + self.propagation).max(self.rx_free[d]);
+        let rx_end = rx_start + wire;
+        self.rx_free[d] = rx_end;
+
+        self.bytes_sent += (pkt.size + WIRE_OVERHEAD_BYTES) as u64;
+        self.packets_sent += 1;
+        rx_end
+    }
+
+    /// Unloaded one-way latency for a frame of `size` bytes.
+    pub fn base_latency(&self, size: u32) -> SimTime {
+        self.wire_time(size) * 2 + self.switch_latency + self.propagation
+    }
+
+    /// Total frames accounted so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Total on-wire bytes accounted so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Aggregate offered bandwidth over `window`, in Gbit/s.
+    pub fn offered_gbps(&self, window: SimTime) -> f64 {
+        if window == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bytes_sent as f64 * 8.0 / window.as_secs_f64() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn pkt(src: u16, dst: u16, size: u32) -> Packet {
+        Packet::new(NodeId(src), NodeId(dst), 1, size, PacketKind::Request)
+    }
+
+    #[test]
+    fn wire_time_matches_line_rate_math() {
+        let n = NetModel::new(2, 10.0);
+        // (1500+24)*8 bits at 10Gbps = 1219.2ns.
+        let t = n.wire_time(1500).as_ns();
+        assert!((t as i64 - 1219).abs() <= 1, "t={t}");
+        // 25GbE is 2.5x faster.
+        let n25 = NetModel::new(2, 25.0);
+        assert!(n25.wire_time(1500) < n.wire_time(1500));
+    }
+
+    #[test]
+    fn unloaded_transfer_hits_base_latency() {
+        let mut n = NetModel::new(2, 10.0);
+        let arrival = n.transfer(SimTime::from_us(10), &pkt(0, 1, 512));
+        assert_eq!(
+            arrival,
+            SimTime::from_us(10) + n.base_latency(512),
+        );
+    }
+
+    #[test]
+    fn egress_serialization_backs_up() {
+        let mut n = NetModel::new(2, 10.0);
+        let a1 = n.transfer(SimTime::ZERO, &pkt(0, 1, 1500));
+        let a2 = n.transfer(SimTime::ZERO, &pkt(0, 1, 1500));
+        let a3 = n.transfer(SimTime::ZERO, &pkt(0, 1, 1500));
+        let w = n.wire_time(1500);
+        assert_eq!(a2, a1 + w);
+        assert_eq!(a3, a2 + w);
+    }
+
+    #[test]
+    fn ingress_contention_from_two_senders() {
+        let mut n = NetModel::new(3, 10.0);
+        let a1 = n.transfer(SimTime::ZERO, &pkt(0, 2, 1500));
+        let a2 = n.transfer(SimTime::ZERO, &pkt(1, 2, 1500));
+        // Both serialize in parallel on their own egress links but collide on
+        // node 2's ingress port.
+        assert_eq!(a2, a1 + n.wire_time(1500));
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_contend() {
+        let mut n = NetModel::new(3, 10.0);
+        let a1 = n.transfer(SimTime::ZERO, &pkt(0, 1, 1500));
+        let mut n2 = NetModel::new(3, 10.0);
+        let a1_alone = n2.transfer(SimTime::ZERO, &pkt(0, 1, 1500));
+        assert_eq!(a1, a1_alone);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut n = NetModel::new(2, 10.0);
+        n.transfer(SimTime::ZERO, &pkt(0, 1, 1000));
+        n.transfer(SimTime::ZERO, &pkt(0, 1, 1000));
+        assert_eq!(n.packets_sent(), 2);
+        assert_eq!(n.bytes_sent(), 2 * 1024);
+        let g = n.offered_gbps(SimTime::from_us(2));
+        // 2048B*8 over 2us = 8.192 Gbps.
+        assert!((g - 8.192).abs() < 0.01, "g={g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        let mut n = NetModel::new(2, 10.0);
+        n.transfer(SimTime::ZERO, &pkt(0, 0, 64));
+    }
+}

@@ -1,0 +1,72 @@
+//! Packet descriptors exchanged between testbed nodes.
+
+use ipipe_sim::SimTime;
+
+/// Identifies a machine attached to the ToR switch (servers and clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+/// What a packet is carrying — the experiment-level request taxonomy. The
+/// applications attach their own typed payloads alongside; the network model
+/// only cares about bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Client request to a server.
+    Request,
+    /// Server response to a client.
+    Response,
+    /// Server-to-server application message (Paxos, 2PC, shuffle...).
+    Internal,
+}
+
+/// A packet in flight: metadata only — payloads live with the experiment's
+/// event type so the network layer stays application-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Flow label (used for NIC-switch steering and host-side flow steering).
+    pub flow: u64,
+    /// Frame size in bytes (headers included, wire overhead excluded).
+    pub size: u32,
+    /// Taxonomy tag.
+    pub kind: PacketKind,
+    /// When the packet was handed to the source NIC.
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Convenience constructor.
+    pub fn new(src: NodeId, dst: NodeId, flow: u64, size: u32, kind: PacketKind) -> Packet {
+        Packet {
+            src,
+            dst,
+            flow,
+            size,
+            kind,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    /// Stamp the send time (done by the network model).
+    pub fn stamped(mut self, at: SimTime) -> Packet {
+        self.sent_at = at;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_stamping() {
+        let p = Packet::new(NodeId(1), NodeId(2), 42, 512, PacketKind::Request);
+        assert_eq!(p.sent_at, SimTime::ZERO);
+        let p = p.stamped(SimTime::from_us(7));
+        assert_eq!(p.sent_at, SimTime::from_us(7));
+        assert_eq!(p.size, 512);
+    }
+}

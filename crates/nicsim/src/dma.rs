@@ -1,0 +1,203 @@
+//! Host-communication model (§2.2.5): DMA engines over PCIe Gen3 x8, and the
+//! RDMA-verbs path exposed by the off-path cards (Figs 7–10).
+
+use crate::spec::{DmaSpec, NicSpec};
+use ipipe_sim::SimTime;
+
+/// Direction of a DMA transfer, from the NIC's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaOp {
+    /// NIC reads host memory (non-posted; waits for completion data).
+    Read,
+    /// NIC writes host memory (posted; cheaper).
+    Write,
+}
+
+/// DMA engine model for one card.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaEngine {
+    spec: DmaSpec,
+}
+
+impl DmaEngine {
+    /// Build from a card's DMA parameters.
+    pub fn new(spec: &NicSpec) -> Self {
+        DmaEngine { spec: spec.dma }
+    }
+
+    /// Latency of a blocking DMA op: the issuing core stalls until the
+    /// completion word arrives (Fig 7's rising curves).
+    pub fn blocking_latency(&self, op: DmaOp, bytes: u32) -> SimTime {
+        let (base, bw) = match op {
+            DmaOp::Read => (self.spec.blk_read_base, self.spec.blk_read_bw),
+            DmaOp::Write => (self.spec.blk_write_base, self.spec.blk_write_bw),
+        };
+        base + SimTime::from_secs_f64(bytes as f64 / bw)
+    }
+
+    /// Core-side latency of a non-blocking DMA op: just the command-queue
+    /// insertion, independent of payload size (Fig 7's flat curves).
+    pub fn nonblocking_latency(&self) -> SimTime {
+        self.spec.nb_enqueue
+    }
+
+    /// Time until the data of a non-blocking op has actually landed (used by
+    /// the message rings to know when a buffer write is visible).
+    pub fn nonblocking_completion(&self, op: DmaOp, bytes: u32) -> SimTime {
+        // The engine pipeline adds its base once the command reaches the head.
+        self.blocking_latency(op, bytes)
+    }
+
+    /// Per-core throughput of back-to-back blocking ops, ops/s (Fig 8).
+    pub fn blocking_throughput_ops(&self, op: DmaOp, bytes: u32) -> f64 {
+        1.0 / self.blocking_latency(op, bytes).as_secs_f64()
+    }
+
+    /// Per-core throughput of back-to-back non-blocking ops, ops/s (Fig 8:
+    /// ~10–11 Mops for small payloads, PCIe-bandwidth-bound for large ones).
+    pub fn nonblocking_throughput_ops(&self, op: DmaOp, bytes: u32) -> f64 {
+        let bw = match op {
+            DmaOp::Read => self.spec.nb_read_bw,
+            DmaOp::Write => self.spec.nb_write_bw,
+        };
+        self.spec.nb_engine_ops.min(bw / bytes.max(1) as f64)
+    }
+
+    /// Latency of a scatter-gather transfer of `n_segments` segments totaling
+    /// `total_bytes`: one DMA command moving multiple segments — the I6
+    /// aggregation optimization. Compare with `n_segments` separate ops.
+    pub fn scatter_gather_latency(&self, op: DmaOp, n_segments: u32, total_bytes: u32) -> SimTime {
+        // Each extra descriptor costs a little engine setup but no extra
+        // PCIe round trip.
+        let per_seg = SimTime::from_ns(55);
+        self.blocking_latency(op, total_bytes) + per_seg * n_segments.saturating_sub(1) as u64
+    }
+}
+
+/// RDMA one-sided verbs model (BlueField/Stingray NIC-to-host path,
+/// Figs 9/10): verbs add software/doorbell overhead on top of the underlying
+/// DMA transfer — roughly doubling small-message latency and cutting
+/// small-message throughput to about a third (§2.2.5, implication I6).
+#[derive(Debug, Clone, Copy)]
+pub struct RdmaModel {
+    dma: DmaEngine,
+    /// Fixed verbs overhead added to each one-sided op.
+    verbs_overhead: SimTime,
+    /// Per-op software cost floor limiting small-message throughput.
+    sw_floor: SimTime,
+}
+
+impl RdmaModel {
+    /// Build for one of the RDMA-capable cards.
+    pub fn new(spec: &NicSpec) -> Self {
+        RdmaModel {
+            dma: DmaEngine::new(spec),
+            verbs_overhead: SimTime::from_ns(900),
+            sw_floor: SimTime::from_ns(2250),
+        }
+    }
+
+    /// One-sided read latency (Fig 9).
+    pub fn read_latency(&self, bytes: u32) -> SimTime {
+        self.dma.blocking_latency(DmaOp::Read, bytes) + self.verbs_overhead
+    }
+
+    /// One-sided write latency (Fig 9).
+    pub fn write_latency(&self, bytes: u32) -> SimTime {
+        self.dma.blocking_latency(DmaOp::Write, bytes) + self.verbs_overhead
+    }
+
+    /// One-sided read throughput, ops/s (Fig 10).
+    pub fn read_throughput_ops(&self, bytes: u32) -> f64 {
+        1.0 / self.read_latency(bytes).max(self.sw_floor).as_secs_f64()
+    }
+
+    /// One-sided write throughput, ops/s (Fig 10).
+    pub fn write_throughput_ops(&self, bytes: u32) -> f64 {
+        1.0 / self.write_latency(bytes).max(self.sw_floor).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BLUEFIELD_1M332A, CN2350};
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(&CN2350)
+    }
+
+    /// Fig 7: non-blocking latency is flat in payload size; blocking grows.
+    #[test]
+    fn fig7_latency_shapes() {
+        let e = engine();
+        assert_eq!(e.nonblocking_latency(), e.nonblocking_latency());
+        let small = e.blocking_latency(DmaOp::Read, 4);
+        let large = e.blocking_latency(DmaOp::Read, 2048);
+        assert!(large > small);
+        // Small blocking read lands near 1us, 2KB around 1.5us.
+        assert!((small.as_us_f64() - 0.9).abs() < 0.1, "{small}");
+        assert!((large.as_us_f64() - 1.47).abs() < 0.2, "{large}");
+        // Writes are posted and cheaper than reads.
+        assert!(e.blocking_latency(DmaOp::Write, 256) < e.blocking_latency(DmaOp::Read, 256));
+        // Non-blocking enqueue is cheaper than any blocking op.
+        assert!(e.nonblocking_latency() < small);
+    }
+
+    /// Fig 8: non-blocking plateaus at the engine rate for small payloads and
+    /// becomes bandwidth-bound for large ones; blocking stays ~1 Mops.
+    #[test]
+    fn fig8_throughput_shapes() {
+        let e = engine();
+        let nb_small = e.nonblocking_throughput_ops(DmaOp::Write, 8);
+        assert!((nb_small - 10.5e6).abs() < 1.0, "nb_small={nb_small}");
+        let nb_2k = e.nonblocking_throughput_ops(DmaOp::Write, 2048);
+        assert!(nb_2k < 3.5e6, "nb_2k={nb_2k}");
+        let blk = e.blocking_throughput_ops(DmaOp::Read, 64);
+        assert!(blk < 1.2e6 && blk > 0.7e6, "blk={blk}");
+        // Large blocking writes stream at ~2 GB/s per core (paper: 2.1).
+        let bw = e.blocking_throughput_ops(DmaOp::Write, 2048) * 2048.0;
+        assert!(bw > 1.8e9 && bw < 2.4e9, "bw={bw}");
+    }
+
+    /// §2.2.5: aggregating transfers beats issuing them separately.
+    #[test]
+    fn scatter_gather_beats_separate_ops() {
+        let e = engine();
+        let sg = e.scatter_gather_latency(DmaOp::Write, 8, 8 * 256);
+        let separate = e.blocking_latency(DmaOp::Write, 256) * 8;
+        assert!(sg < separate, "sg={sg} separate={separate}");
+    }
+
+    /// Fig 9: RDMA verbs roughly double the latency of blocking DMA for
+    /// small messages.
+    #[test]
+    fn fig9_rdma_latency_doubles_dma() {
+        let r = RdmaModel::new(&BLUEFIELD_1M332A);
+        let d = DmaEngine::new(&BLUEFIELD_1M332A);
+        for bytes in [4u32, 64, 256] {
+            let ratio = r.read_latency(bytes).as_ns() as f64
+                / d.blocking_latency(DmaOp::Read, bytes).as_ns() as f64;
+            assert!(ratio > 1.5 && ratio < 2.5, "bytes={bytes} ratio={ratio}");
+        }
+    }
+
+    /// Fig 10: small-message RDMA throughput is ~1/3 of blocking DMA;
+    /// ≥512B they converge.
+    #[test]
+    fn fig10_rdma_throughput_converges_at_512b() {
+        let r = RdmaModel::new(&BLUEFIELD_1M332A);
+        let d = DmaEngine::new(&BLUEFIELD_1M332A);
+        let small_ratio = r.read_throughput_ops(64) / d.blocking_throughput_ops(DmaOp::Read, 64);
+        assert!(small_ratio < 0.45, "small ratio {small_ratio}");
+        let big_ratio = r.read_throughput_ops(2048) / d.blocking_throughput_ops(DmaOp::Read, 2048);
+        assert!(big_ratio > 0.6, "big ratio {big_ratio}");
+    }
+
+    #[test]
+    fn rdma_write_cheaper_than_read() {
+        let r = RdmaModel::new(&BLUEFIELD_1M332A);
+        assert!(r.write_latency(128) < r.read_latency(128));
+        assert!(r.write_throughput_ops(128) >= r.read_throughput_ops(128));
+    }
+}

@@ -1,0 +1,126 @@
+//! Host-side execution model: beefy Xeon cores running DPDK-style poll-mode
+//! runtimes, and the host↔NIC relative-speed function the iPipe migration
+//! machinery relies on (implication I3).
+
+use crate::cpu::{CoreModel, ExecProfile};
+use crate::spec::{HostSpec, NicSpec};
+use ipipe_sim::SimTime;
+
+/// How much faster a host core executes a given profile than a NIC core.
+///
+/// Compute-bound actors (low MPKI) see close to the full frequency ×
+/// microarchitecture advantage; memory-bound ones (high MPKI) are limited by
+/// DRAM and gain far less — the paper's reason to prefer offloading
+/// memory-bound tasks (I3).
+pub fn host_speedup(nic: &NicSpec, host: &HostSpec, profile: &ExecProfile) -> f64 {
+    let on_nic = profile.evaluate(&CoreModel::for_nic(nic)).latency;
+    let on_host = profile.evaluate(&CoreModel::for_host(host)).latency;
+    if on_host.as_ns() == 0 {
+        return 1.0;
+    }
+    on_nic.as_ns() as f64 / on_host.as_ns() as f64
+}
+
+/// Number of host cores (fractional) needed to process `rate_rps` requests/s
+/// when each request costs `per_request` of host core time.
+pub fn cores_needed(per_request: SimTime, rate_rps: f64) -> f64 {
+    per_request.as_secs_f64() * rate_rps
+}
+
+/// A host core pool accumulating busy time, from which the experiment harness
+/// derives "CPU cores used" (Fig 13) and "CPU usage %" (Fig 17).
+#[derive(Debug, Clone, Default)]
+pub struct HostCpuAccounting {
+    busy: SimTime,
+    wall: SimTime,
+}
+
+impl HostCpuAccounting {
+    /// Empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `t` of host core time.
+    pub fn charge(&mut self, t: SimTime) {
+        self.busy += t;
+    }
+
+    /// Set the wall-clock duration of the measured interval.
+    pub fn set_wall(&mut self, wall: SimTime) {
+        self.wall = wall;
+    }
+
+    /// Equivalent number of fully-busy cores over the interval.
+    pub fn cores_used(&self) -> f64 {
+        if self.wall == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / self.wall.as_secs_f64()
+    }
+
+    /// CPU usage in percent (may exceed 100 when more than one core is busy,
+    /// matching Fig 17's y-axis).
+    pub fn usage_percent(&self) -> f64 {
+        self.cores_used() * 100.0
+    }
+
+    /// Total busy time charged.
+    pub fn busy(&self) -> SimTime {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemCounters;
+    use crate::spec::{CN2350, HOST_XEON};
+
+    #[test]
+    fn speedup_depends_on_memory_boundedness() {
+        let compute = ExecProfile {
+            instructions: 40_000,
+            mem: MemCounters::default(),
+            accel_wait: SimTime::ZERO,
+        };
+        let membound = ExecProfile {
+            instructions: 8_000,
+            mem: MemCounters {
+                accesses: 4_000,
+                l1_misses: 1_200,
+                l2_misses: 400,
+            },
+            accel_wait: SimTime::ZERO,
+        };
+        let s_c = host_speedup(&CN2350, &HOST_XEON, &compute);
+        let s_m = host_speedup(&CN2350, &HOST_XEON, &membound);
+        assert!(s_c > 3.5, "compute speedup {s_c}");
+        assert!(s_m < s_c);
+        assert!(s_m > 1.0);
+    }
+
+    #[test]
+    fn cores_needed_is_littles_law() {
+        // 2us per request at 1M rps = 2 cores.
+        let c = cores_needed(SimTime::from_us(2), 1_000_000.0);
+        assert!((c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_accounting() {
+        let mut acc = HostCpuAccounting::new();
+        acc.charge(SimTime::from_ms(500));
+        acc.charge(SimTime::from_ms(750));
+        acc.set_wall(SimTime::from_secs(1));
+        assert!((acc.cores_used() - 1.25).abs() < 1e-9);
+        assert!((acc.usage_percent() - 125.0).abs() < 1e-9);
+        assert_eq!(acc.busy(), SimTime::from_ms(1250));
+    }
+
+    #[test]
+    fn empty_accounting_is_zero() {
+        let acc = HostCpuAccounting::new();
+        assert_eq!(acc.cores_used(), 0.0);
+    }
+}

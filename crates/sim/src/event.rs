@@ -1,0 +1,221 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence-number)`: two events scheduled for
+//! the same instant fire in the order they were scheduled, which makes every
+//! simulation replayable bit-for-bit from its seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `now` advances monotonically as events are popped. Scheduling an event in
+/// the past is a logic error and panics — silent time travel corrupts
+/// statistics in ways that are extremely painful to debug.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events fired so far.
+    pub fn fired(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before [`EventQueue::now`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` after a delay relative to `now`.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Advance `now` to `t` without firing anything. Panics if an event is
+    /// pending before `t` (that event must be popped first).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if let Some(at) = self.peek_time() {
+            assert!(at >= t, "advance_to({t}) would skip event at {at}");
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Run the event loop until the queue drains or `end` is passed, invoking
+    /// `f(queue, state, time, event)` for each event. Events with timestamps
+    /// strictly after `end` are left in the queue (and `now` stops at `end`).
+    pub fn run_until<S>(
+        &mut self,
+        state: &mut S,
+        end: SimTime,
+        mut f: impl FnMut(&mut Self, &mut S, SimTime, E),
+    ) {
+        while let Some(at) = self.peek_time() {
+            if at > end {
+                self.now = end;
+                return;
+            }
+            let (t, e) = self.pop().expect("peeked entry must pop");
+            f(self, state, t, e);
+        }
+        if self.now < end {
+            self.now = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_us(30), "c");
+        q.schedule_at(SimTime::from_us(10), "a");
+        q.schedule_at(SimTime::from_us(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_us(30));
+        assert_eq!(q.fired(), 3);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_us(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_us(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_us(5), ());
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_us(10), 1);
+        q.pop();
+        q.schedule_after(SimTime::from_us(5), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_us(15));
+    }
+
+    #[test]
+    fn run_until_respects_end_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_us(1), ());
+        let mut count = 0u32;
+        q.run_until(&mut count, SimTime::from_us(10), |q, count, _t, ()| {
+            *count += 1;
+            if *count < 100 {
+                q.schedule_after(SimTime::from_us(2), ());
+            }
+        });
+        // Events at 1,3,5,7,9 fire; the one at 11 stays pending.
+        assert_eq!(count, 5);
+        assert_eq!(q.now(), SimTime::from_us(10));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn run_until_advances_now_to_end_when_drained() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let mut st = ();
+        q.run_until(&mut st, SimTime::from_ms(1), |_, _, _, _| {});
+        assert_eq!(q.now(), SimTime::from_ms(1));
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload generators reproducing the paper's evaluation inputs (§5.1):
+//!
+//! * [`kv`] — key-value operations: 16 B keys, 95% read / 5% write, Zipf
+//!   0.99 over 1 M keys, value size growing with packet size;
+//! * [`txn`] — multi-key read-write transactions (two reads + one write, as
+//!   in FaSST);
+//! * [`rta`] — a Twitter-like tuple stream for the real-time analytics
+//!   engine, with per-packet tuple counts derived from packet size;
+//! * [`service`] — the synthetic service-time traces of §5.4 (exponential
+//!   low-dispersion, bimodal-2 high-dispersion);
+//! * [`ycsb`] — YCSB A–F mixes for exploring the KV store beyond the
+//!   paper's single 95/5 point.
+
+pub mod kv;
+pub mod rta;
+pub mod service;
+pub mod txn;
+pub mod ycsb;

@@ -1,0 +1,72 @@
+//! Network functions on iPipe (§5.7): an 8K-rule software-TCAM firewall and
+//! an AES-256-CTR + HMAC-SHA1 IPSec gateway, both running on the SmartNIC
+//! with crypto-engine acceleration.
+//!
+//! ```text
+//! cargo run --release --example firewall_ipsec
+//! ```
+
+use ipipe_repro::apps::nf::actors::{FirewallActor, IpsecActor, NfMsg};
+use ipipe_repro::apps::nf::ipsec::IpsecGateway;
+use ipipe_repro::ipipe::prelude::*;
+use ipipe_repro::ipipe::rt::{ClientReq, Cluster};
+use ipipe_repro::nicsim::CN2350;
+
+fn main() {
+    // --- firewall under increasing load ---
+    for outstanding in [4u32, 64, 192] {
+        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(6).build();
+        let fw = c.register_actor(0, "firewall", Box::new(FirewallActor::new(8192, 1)), Placement::Nic);
+        let mut traffic = FirewallActor::traffic(8192, 1);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| ClientReq {
+                dst: fw,
+                wire_size: 1024,
+                flow: rng.below(1 << 20),
+                payload: Some(Box::new(NfMsg::Classify(traffic(rng)))),
+            }),
+            outstanding,
+        );
+        c.run_for(SimTime::from_ms(2));
+        c.reset_measurements();
+        c.run_for(SimTime::from_ms(8));
+        println!(
+            "firewall 8K rules, outstanding {outstanding:3}: avg {:7} p99 {:7} ({:.2} Gbps)",
+            c.completions().mean(),
+            c.completions().p99(),
+            c.throughput_rps() * 1024.0 * 8.0 / 1e9
+        );
+    }
+
+    // --- IPSec gateway throughput ---
+    let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(7).build();
+    let gw = c.register_actor(0, "ipsec", Box::new(IpsecActor::new(16)), Placement::Nic);
+    c.set_client(
+        0,
+        Box::new(move |rng, _| ClientReq {
+            dst: gw,
+            wire_size: 1024,
+            flow: rng.below(1 << 20),
+            payload: Some(Box::new(NfMsg::Encrypt(vec![0x5A; 960]))),
+        }),
+        128,
+    );
+    c.run_for(SimTime::from_ms(2));
+    c.reset_measurements();
+    c.run_for(SimTime::from_ms(8));
+    println!(
+        "ipsec gateway (AES-256-CTR + HMAC-SHA1): {:.2} Gbps at p99 {}",
+        c.throughput_rps() * 1024.0 * 8.0 / 1e9,
+        c.completions().p99()
+    );
+
+    // --- and the datapath really encrypts: a quick end-to-end check ---
+    let mut tx = IpsecGateway::new(9, &[1; 32], &[2; 20]);
+    let mut rx = IpsecGateway::new(9, &[1; 32], &[2; 20]);
+    let secret = b"the quick brown fox, in cipher";
+    let pkt = tx.encapsulate(secret);
+    assert_ne!(&pkt.ciphertext[..], &secret[..]);
+    assert_eq!(rx.decapsulate(&pkt).unwrap(), secret);
+    println!("ipsec bit-level check: encrypt/authenticate/decrypt round trip OK");
+}

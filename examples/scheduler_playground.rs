@@ -1,0 +1,56 @@
+//! Scheduler playground: sweep the Fig 16 experiment from the command line.
+//!
+//! ```text
+//! cargo run --release --example scheduler_playground [card] [dispersion] [load]
+//!   card       liquidio | stingray        (default liquidio)
+//!   dispersion low | high                 (default high)
+//!   load       0.0..1.0                   (default 0.9)
+//! ```
+//!
+//! Prints mean/p99 under pure FCFS, pure DRR and the iPipe hybrid.
+
+use ipipe_repro::baseline::fig16::run_fig16;
+use ipipe_repro::ipipe::sched::Discipline;
+use ipipe_repro::nicsim::{CN2350, STINGRAY_PS225};
+use ipipe_repro::workload::service::{fig16_distribution, Dispersion, Fig16Card};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let card = match args.first().map(String::as_str) {
+        Some("stingray") => Fig16Card::Stingray,
+        _ => Fig16Card::LiquidIo,
+    };
+    let dispersion = match args.get(1).map(String::as_str) {
+        Some("low") => Dispersion::Low,
+        _ => Dispersion::High,
+    };
+    let load: f64 = args
+        .get(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.9)
+        .clamp(0.05, 0.95);
+
+    let spec = match card {
+        Fig16Card::LiquidIo => &CN2350,
+        Fig16Card::Stingray => &STINGRAY_PS225,
+    };
+    let dist = fig16_distribution(card, dispersion);
+    println!(
+        "card={} dispersion={dispersion:?} load={load} (8 actors, 60k requests)",
+        spec.name
+    );
+    println!("{:<10} {:>10} {:>10}", "discipline", "mean(us)", "p99(us)");
+    for (name, d) in [
+        ("FCFS", Discipline::FcfsOnly),
+        ("DRR", Discipline::DrrOnly),
+        ("hybrid", Discipline::Hybrid),
+    ] {
+        let p = run_fig16(spec, dist, d, load, 8, 60_000, 42);
+        println!(
+            "{:<10} {:>10.1} {:>10.1}",
+            name,
+            p.mean.as_us_f64(),
+            p.p99.as_us_f64()
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the iPipe reproduction workspace.
+//!
+//! This crate exists so the runnable examples in `examples/` can depend on
+//! every workspace member through a single package. It re-exports the public
+//! crates under short names.
+
+pub use ipipe;
+pub use ipipe_apps as apps;
+pub use ipipe_baseline as baseline;
+pub use ipipe_netsim as netsim;
+pub use ipipe_nicsim as nicsim;
+pub use ipipe_sim as sim;
+pub use ipipe_workload as workload;

@@ -1,0 +1,307 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning crates.
+
+use ipipe_repro::ipipe::actor::Request;
+use ipipe_repro::ipipe::dmo::{DmoTable, Side};
+use ipipe_repro::ipipe::sched::{Discipline, Loc, NicScheduler, SchedConfig, Work};
+use ipipe_repro::nicsim::CN2350;
+use ipipe_repro::ipipe::ring::{RingBuffer, RingError};
+use ipipe_repro::ipipe::skiplist::{DmoSkipList, KEY_LEN};
+use ipipe_repro::apps::micro::{KvCache, LpmRouter, PFabricScheduler};
+use ipipe_repro::apps::rkv::lsm::{Levels, SsTable};
+use ipipe_repro::apps::rta::regex::Regex;
+use ipipe_repro::nicsim::crypto::{crc32, md5, sha1};
+use ipipe_repro::sim::{DetRng, Histogram, SimTime};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+fn key(i: u64) -> [u8; KEY_LEN] {
+    let mut k = [0u8; KEY_LEN];
+    k[8..].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DMO skip list behaves exactly like a BTreeMap under arbitrary
+    /// insert/remove/get interleavings.
+    #[test]
+    fn skiplist_equals_btreemap(ops in prop::collection::vec((0u8..3, 0u64..64, 0u64..1000), 1..400)) {
+        let mut table = DmoTable::new(Side::Nic, 0);
+        table.register_region(1, 64 << 20);
+        let mut rng = DetRng::new(1);
+        let mut dmo = table.scoped(1);
+        let mut sl = DmoSkipList::create(&mut dmo).unwrap();
+        let mut model: BTreeMap<[u8; KEY_LEN], Vec<u8>> = BTreeMap::new();
+        for (op, k, v) in ops {
+            let k = key(k);
+            match op {
+                0 => {
+                    let val = v.to_le_bytes().to_vec();
+                    sl.insert(&mut dmo, &mut rng, &k, &val).unwrap();
+                    model.insert(k, val);
+                }
+                1 => {
+                    let a = sl.remove(&mut dmo, &k).unwrap();
+                    let b = model.remove(&k).is_some();
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    let a = sl.get(&mut dmo, &k).unwrap();
+                    let b = model.get(&k).cloned();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(sl.len() as usize, model.len());
+        }
+        let all = sl.iter_all(&mut dmo).unwrap();
+        let expect: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Ring buffers deliver every accepted message, in order, intact.
+    #[test]
+    fn ring_is_fifo_and_lossless(msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..120), 1..200)) {
+        let mut r = RingBuffer::new(2048);
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        for m in &msgs {
+            match r.push(m) {
+                Ok(()) => model.push_back(m.clone()),
+                Err(RingError::Full) => {
+                    // Drain one and retry once.
+                    if let Some((got, _)) = r.pop().unwrap() {
+                        prop_assert_eq!(got, model.pop_front().unwrap());
+                    }
+                    if r.push(m).is_ok() {
+                        model.push_back(m.clone());
+                    }
+                }
+                Err(e) => prop_assert!(false, "unexpected {:?}", e),
+            }
+        }
+        while let Some((got, _)) = r.pop().unwrap() {
+            prop_assert_eq!(got, model.pop_front().unwrap());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// LSM reads equal a map model after arbitrary write/delete/flush mixes.
+    #[test]
+    fn lsm_equals_model(ops in prop::collection::vec((0u8..3, 0u64..128), 1..300)) {
+        let mut levels = Levels::new(512, 4);
+        let mut mem: BTreeMap<[u8; KEY_LEN], Option<Vec<u8>>> = BTreeMap::new();
+        let mut model: HashMap<u64, Option<Vec<u8>>> = HashMap::new();
+        for (i, (op, k)) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    let v = (i as u64).to_le_bytes().to_vec();
+                    mem.insert(key(k), Some(v.clone()));
+                    model.insert(k, Some(v));
+                }
+                1 => {
+                    mem.insert(key(k), None);
+                    model.insert(k, None);
+                }
+                _ => {
+                    if mem.len() > 16 {
+                        levels.flush_memtable(std::mem::take(&mut mem).into_iter().collect());
+                    }
+                }
+            }
+        }
+        levels.flush_memtable(mem.into_iter().collect());
+        for (k, want) in model {
+            let got = levels.get(&key(k));
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// SSTable merge preserves newest-wins semantics.
+    #[test]
+    fn sstable_merge_newest_wins(newer in prop::collection::btree_map(0u64..64, 0u64..1000, 1..32),
+                                 older in prop::collection::btree_map(0u64..64, 0u64..1000, 1..32)) {
+        let to_table = |m: &BTreeMap<u64, u64>| {
+            SsTable::from_sorted(m.iter().map(|(&k, &v)| (key(k), Some(v.to_le_bytes().to_vec()))).collect())
+        };
+        let merged = SsTable::merge(&[&to_table(&newer), &to_table(&older)], false);
+        for k in newer.keys().chain(older.keys()) {
+            let want = newer.get(k).or_else(|| older.get(k)).unwrap();
+            let got = merged.get(&key(*k)).flatten().unwrap();
+            let want_bytes = want.to_le_bytes();
+            prop_assert_eq!(got, &want_bytes[..]);
+        }
+    }
+
+    /// Digests are deterministic and sensitive to any single-byte change.
+    #[test]
+    fn digests_detect_mutations(data in prop::collection::vec(any::<u8>(), 1..256), idx in any::<prop::sample::Index>()) {
+        let i = idx.index(data.len());
+        let mut mutated = data.clone();
+        mutated[i] ^= 0x01;
+        prop_assert_eq!(md5(&data), md5(&data));
+        prop_assert_ne!(md5(&mutated), md5(&data));
+        prop_assert_ne!(sha1(&mutated), sha1(&data));
+        prop_assert_ne!(crc32(&mutated), crc32(&data));
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimTime::from_ns(s));
+        }
+        let q: Vec<u64> = [0.01, 0.25, 0.5, 0.75, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).as_ns())
+            .collect();
+        for w in q.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", q);
+        }
+        prop_assert!(q[5] <= h.max().as_ns());
+        prop_assert!(h.min().as_ns() <= q[0] || samples.len() == 1);
+    }
+
+    /// The KV cache agrees with a HashMap under arbitrary op sequences.
+    #[test]
+    fn kvcache_equals_hashmap(ops in prop::collection::vec((0u8..3, 0u8..120), 1..400)) {
+        let mut kv = KvCache::new(512);
+        let mut model: HashMap<[u8; 16], [u8; 32]> = HashMap::new();
+        for (op, kb) in ops {
+            let mut k = [0u8; 16];
+            k[0] = kb;
+            match op {
+                0 => {
+                    kv.put(k, [kb; 32]);
+                    model.insert(k, [kb; 32]);
+                }
+                1 => {
+                    prop_assert_eq!(kv.del(&k), model.remove(&k).is_some());
+                }
+                _ => {
+                    prop_assert_eq!(kv.get(&k).0, model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(kv.len(), model.len());
+    }
+
+    /// pFabric extract-min equals a binary heap.
+    #[test]
+    fn pfabric_equals_heap(ops in prop::collection::vec((any::<bool>(), 0u64..5000), 1..400)) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut s = PFabricScheduler::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        for (i, (push, v)) in ops.into_iter().enumerate() {
+            if push || model.is_empty() {
+                s.insert(v, i as u64);
+                model.push(Reverse((v, i as u64)));
+            } else {
+                let got = s.pop_min().map(|(k, _)| k);
+                let want = model.pop().map(|Reverse(k)| k);
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// LPM answers match a linear-scan oracle on random tables and probes.
+    #[test]
+    fn lpm_matches_oracle(routes in prop::collection::vec((any::<u32>(), 1u8..25), 1..64),
+                          probes in prop::collection::vec(any::<u32>(), 1..64)) {
+        fn mask(len: u8) -> u32 {
+            if len == 0 { 0 } else { !0u32 << (32 - len) }
+        }
+        let mut r = LpmRouter::new();
+        let mut installed: Vec<(u32, u8, u32)> = Vec::new();
+        for (i, (p, l)) in routes.into_iter().enumerate() {
+            let prefix = p & mask(l);
+            if installed.iter().any(|(q, m, _)| *m == l && *q == prefix) {
+                continue; // duplicate prefix: insertion order would decide
+            }
+            r.insert(prefix, l, i as u32);
+            installed.push((prefix, l, i as u32));
+        }
+        for addr in probes {
+            let oracle = installed
+                .iter()
+                .filter(|(p, l, _)| addr & mask(*l) == *p)
+                .max_by_key(|(_, l, _)| *l)
+                .map(|(_, _, nh)| *nh);
+            prop_assert_eq!(r.lookup(addr).0, oracle, "addr={:#x}", addr);
+        }
+    }
+
+    /// The regex engine agrees with a reference matcher on a restricted
+    /// grammar (literal words with optional '.' wildcards).
+    #[test]
+    fn regex_literal_find_matches_contains(word in "[a-c]{1,6}", hay in "[a-c]{0,24}") {
+        let re = Regex::new(&word).unwrap();
+        prop_assert_eq!(re.find(&hay), hay.contains(&word));
+        prop_assert_eq!(re.is_match(&word), true);
+    }
+
+    /// Scheduler conservation: under arbitrary arrival/dispatch/completion
+    /// interleavings (any discipline) no request is lost — everything is
+    /// either executed or still queued — and the scheduler never panics.
+    #[test]
+    fn scheduler_conserves_requests(
+        disc_sel in 0u8..3,
+        ops in prop::collection::vec((any::<bool>(), 0u32..6, 0u32..12), 1..500)
+    ) {
+        let discipline = match disc_sel {
+            0 => Discipline::FcfsOnly,
+            1 => Discipline::DrrOnly,
+            _ => Discipline::Hybrid,
+        };
+        let cfg = SchedConfig::for_nic(&CN2350)
+            .with_discipline(discipline)
+            .no_migration();
+        let mut s = NicScheduler::new(&CN2350, cfg);
+        for a in 0..6 {
+            s.register(a, 512, Loc::Nic);
+        }
+        let mut arrivals = 0u64;
+        let mut executed = 0u64;
+        let mut busy: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut now = SimTime::ZERO;
+        for (arrive, actor, core) in ops {
+            now += SimTime::from_us(3);
+            if arrive {
+                arrivals += 1;
+                s.on_arrival(now, Request {
+                    actor,
+                    flow: arrivals,
+                    wire_size: 512,
+                    arrived: now,
+                    reply_to: None,
+                    token: arrivals,
+                    payload: None,
+                });
+            } else if let Some(&a) = busy.get(&core) {
+                // Complete whatever this core was running.
+                busy.remove(&core);
+                s.on_complete(now, core, a, SimTime::from_us(30), SimTime::from_us(25));
+                let _ = s.take_actions();
+            } else if let Some(w) = s.next_for_core(now, core) {
+                match w {
+                    Work::Exec(r) => {
+                        executed += 1;
+                        busy.insert(core, r.actor);
+                    }
+                    Work::Forward(_) | Work::Buffer(_) => {
+                        prop_assert!(false, "no migration: forwards impossible");
+                    }
+                }
+            }
+        }
+        // Conservation: executed + queued everywhere == arrivals.
+        let queued = s.fcfs_depth() as u64
+            + (0..6u32)
+                .map(|a| s.actor(a).map(|x| x.mailbox.len() as u64).unwrap_or(0))
+                .sum::<u64>();
+        prop_assert_eq!(executed + queued, arrivals,
+            "executed={} queued={} arrivals={}", executed, queued, arrivals);
+    }
+}
