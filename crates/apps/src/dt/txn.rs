@@ -22,6 +22,8 @@ pub type Key = [u8; KEY_LEN];
 pub type TxId = u64;
 /// Participant index.
 pub type PartIdx = u32;
+/// A transaction's buffered writes: `(key, value)` pairs.
+pub type WriteSet = Vec<(Key, Vec<u8>)>;
 
 /// Coordinator→participant and participant→coordinator messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,7 +184,7 @@ struct TxnState {
     /// Read-set partitioning, retained for retry/diagnostic paths.
     #[allow(dead_code)]
     reads: Vec<(PartIdx, Vec<Key>)>,
-    writes: Vec<(PartIdx, Vec<(Key, Vec<u8>)>)>,
+    writes: Vec<(PartIdx, WriteSet)>,
     pending: usize,
     read_results: Vec<(Key, Vec<u8>, u64)>,
     failed: bool,

@@ -49,7 +49,7 @@ impl LpmRouter {
 
     /// Install `prefix/len -> next_hop`.
     pub fn insert(&mut self, prefix: u32, len: u8, next_hop: u32) {
-        assert!(len >= 1 && len <= 32);
+        assert!((1..=32).contains(&len));
         self.routes += 1;
         let mut node = 0usize;
         let mut depth = 0u8; // bits consumed

@@ -130,7 +130,7 @@ impl MicroWorkload for RateLimiter {
         }
         // Drain pass touches the head region.
         let sent = self.drain_tick();
-        for i in 0..sent.min(8).max(2) {
+        for i in 0..sent.clamp(2, 8) {
             let slot = ((self.tick + i as u64) % self.fifo_cap as u64) * 256;
             mem.read(self.base_fifo + slot, 256);
         }

@@ -345,7 +345,6 @@ impl ActorLogic for MemtableActor {
                         .collect();
                     let _ = list.clear(&mut dmo);
                     self.bytes = 0;
-                    drop(dmo);
                     // Paper §4: "the Memtable actor migrates its Memtable
                     // object to the host and issues a message to the
                     // compaction actor" — the object moves asynchronously;
@@ -371,7 +370,6 @@ impl ActorLogic for MemtableActor {
                 let mut dmo = ctx.dmo();
                 match list.get(&mut dmo, &key).ok().flatten() {
                     Some(encoded) => {
-                        drop(dmo);
                         if encoded.first() == Some(&1) {
                             let len = (encoded.len() - 1) as u32;
                             ctx.reply_to(client, 64 + len, token, None);
@@ -381,7 +379,6 @@ impl ActorLogic for MemtableActor {
                         }
                     }
                     None => {
-                        drop(dmo);
                         let sst = self.wiring.borrow().sst_read[self.replica];
                         ctx.send(
                             sst,

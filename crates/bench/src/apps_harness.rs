@@ -71,6 +71,7 @@ impl AppRun {
 ///
 /// `outstanding` controls the offered load (closed loop); `packet` is the
 /// request size. Warm-up runs first, then `measure` of measured time.
+#[allow(clippy::too_many_arguments)] // flat experiment knobs, mirrored by every figure driver
 pub fn run_app(
     app: App,
     spec: NicSpec,

@@ -1,0 +1,153 @@
+//! Event-queue throughput microbenchmark: timing wheel vs. `BinaryHeap`.
+//!
+//! Drives a churn-heavy workload — 64 concurrent periodic timers, each fire
+//! rescheduling itself and emitting a burst of one-shot events at the same
+//! future instant, on top of a standing population of 100k long-timeout
+//! entries that never fire inside the window — through both [`EventQueue`]
+//! (timing wheel, batched pops) and [`HeapEventQueue`] (the pre-wheel
+//! `BinaryHeap` reference, per-event pops), until one million events have
+//! fired. Delays are quantized to 256 ns so distinct timers frequently
+//! collide on the same timestamp, which is exactly the shape the runtime
+//! produces (cores freeing in the same tick, same-instant ring hops). The
+//! long-timeout backlog is the classic wheel-vs-heap separator: the wheel
+//! parks those entries in high-level slots at zero marginal cost while the
+//! heap sifts every hot push/pop through the full ~100k-entry depth.
+//!
+//! Prints a single line of JSON to stdout:
+//!
+//! ```json
+//! {"bench":"desbench","events":1000000,"timers":64,
+//!  "wheel":{"wall_ms":..,"events_per_sec":..,"peak_queue_depth":..},
+//!  "heap":{"wall_ms":..,"events_per_sec":..,"peak_queue_depth":..},
+//!  "speedup":..}
+//! ```
+//!
+//! Run with `cargo run --release -p ipipe-bench --bin desbench`.
+
+use std::time::Instant;
+
+use ipipe_sim::{DetRng, EventQueue, HeapEventQueue, SimTime};
+
+/// Concurrent periodic timers (event ids `0..TIMERS` reschedule themselves).
+const TIMERS: u64 = 64;
+/// One-shot events emitted alongside each timer fire, at the same instant.
+const BURST: u64 = 7;
+/// Total events to fire in the measured run.
+const TOTAL: u64 = 1_000_000;
+/// Warmup events before the measured run (not timed).
+const WARMUP: u64 = 100_000;
+/// Delay quantum: collisions across timers need a coarse grid.
+const QUANTUM: u64 = 256;
+/// Standing long-timeout entries, scheduled far beyond the measured window
+/// (the window covers ~1 s of simulated time; these land at 60–120 s).
+const LONG_TIMERS: u64 = 100_000;
+
+/// Next inter-fire delay for a timer: 0..~1 ms, on the 256 ns grid.
+fn next_delay(rng: &mut DetRng) -> SimTime {
+    SimTime::from_ns(rng.below(4096) * QUANTUM)
+}
+
+struct RunStats {
+    fired: u64,
+    peak_depth: usize,
+    final_now: SimTime,
+}
+
+/// Timing-wheel run: drain whole same-instant batches per refill.
+fn run_wheel(seed: u64, total: u64) -> RunStats {
+    let mut rng = DetRng::new(seed);
+    let mut q = EventQueue::new();
+    let mut next_id = TIMERS;
+    for t in 0..TIMERS {
+        q.schedule_after(next_delay(&mut rng), t);
+    }
+    for _ in 0..LONG_TIMERS {
+        q.schedule_after(SimTime::from_secs(60) + SimTime::from_ns(rng.below(60_000_000_000)), next_id);
+        next_id += 1;
+    }
+    let mut fired = 0u64;
+    let mut peak = q.len();
+    let mut batch = Vec::new();
+    while fired < total {
+        let now = q.pop_batch(&mut batch).expect("timers keep the queue alive");
+        fired += batch.len() as u64;
+        for &id in batch.iter() {
+            if id < TIMERS {
+                let at = now + next_delay(&mut rng);
+                q.schedule_at(at, id);
+                for _ in 0..BURST {
+                    q.schedule_at(at, next_id);
+                    next_id += 1;
+                }
+            }
+        }
+        peak = peak.max(q.len());
+    }
+    RunStats { fired, peak_depth: peak, final_now: q.now() }
+}
+
+/// Reference run: same workload through the `BinaryHeap` queue, one pop per
+/// event (its only draining mode).
+fn run_heap(seed: u64, total: u64) -> RunStats {
+    let mut rng = DetRng::new(seed);
+    let mut q = HeapEventQueue::new();
+    let mut next_id = TIMERS;
+    for t in 0..TIMERS {
+        q.schedule_after(next_delay(&mut rng), t);
+    }
+    for _ in 0..LONG_TIMERS {
+        q.schedule_after(SimTime::from_secs(60) + SimTime::from_ns(rng.below(60_000_000_000)), next_id);
+        next_id += 1;
+    }
+    let mut fired = 0u64;
+    let mut peak = q.len();
+    while fired < total {
+        let (now, id) = q.pop().expect("timers keep the queue alive");
+        fired += 1;
+        if id < TIMERS {
+            let at = now + next_delay(&mut rng);
+            q.schedule_at(at, id);
+            for _ in 0..BURST {
+                q.schedule_at(at, next_id);
+                next_id += 1;
+            }
+        }
+        peak = peak.max(q.len());
+    }
+    RunStats { fired, peak_depth: peak, final_now: q.now() }
+}
+
+fn measure(run: impl Fn(u64, u64) -> RunStats) -> (RunStats, f64) {
+    run(1, WARMUP);
+    let start = Instant::now();
+    let stats = run(1, TOTAL);
+    (stats, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let (wheel, wheel_ms) = measure(run_wheel);
+    let (heap, heap_ms) = measure(run_heap);
+    // Same seed, same workload: both runs must have simulated the same
+    // stream, otherwise the comparison is meaningless.
+    assert_eq!(wheel.final_now, heap.final_now, "runs diverged");
+    let wheel_eps = wheel.fired as f64 / (wheel_ms / 1e3);
+    let heap_eps = heap.fired as f64 / (heap_ms / 1e3);
+    println!(
+        concat!(
+            "{{\"bench\":\"desbench\",\"events\":{},\"timers\":{},\"long_timers\":{},",
+            "\"wheel\":{{\"wall_ms\":{:.2},\"events_per_sec\":{:.0},\"peak_queue_depth\":{}}},",
+            "\"heap\":{{\"wall_ms\":{:.2},\"events_per_sec\":{:.0},\"peak_queue_depth\":{}}},",
+            "\"speedup\":{:.2}}}"
+        ),
+        wheel.fired,
+        TIMERS,
+        LONG_TIMERS,
+        wheel_ms,
+        wheel_eps,
+        wheel.peak_depth,
+        heap_ms,
+        heap_eps,
+        heap.peak_depth,
+        wheel_eps / heap_eps,
+    );
+}

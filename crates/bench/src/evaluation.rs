@@ -13,6 +13,7 @@ use ipipe_baseline::fig16::run_fig16;
 use ipipe_baseline::floem::deploy_floem_rta;
 use ipipe_nicsim::spec::NicSpec;
 use ipipe_nicsim::{CN2350, CN2360, STINGRAY_PS225};
+use ipipe_sim::sweep::{default_workers, parallel_sweep};
 use ipipe_workload::kv::KvWorkload;
 use ipipe_workload::rta::RtaWorkload;
 use ipipe_workload::service::{fig16_distribution, Dispersion, Fig16Card};
@@ -82,26 +83,35 @@ pub fn render_fig1415(spec: NicSpec, label: &str) -> String {
 }
 
 /// Fig 16: the scheduler sweep (both cards, both dispersions, three
-/// disciplines).
+/// disciplines). The 72 grid points are independent seeded simulations, so
+/// they fan out across cores via [`parallel_sweep`]; results come back in
+/// input order, keeping the table identical to a serial run.
 pub fn render_fig16(requests: u64) -> String {
     let loads = [0.1, 0.3, 0.5, 0.7, 0.8, 0.9];
-    let mut rows = Vec::new();
     let cells: [(&'static NicSpec, Fig16Card, Dispersion, &str); 4] = [
         (&CN2350, Fig16Card::LiquidIo, Dispersion::Low, "(a) low disp, CN2350"),
         (&CN2350, Fig16Card::LiquidIo, Dispersion::High, "(b) high disp, CN2350"),
         (&STINGRAY_PS225, Fig16Card::Stingray, Dispersion::Low, "(c) low disp, Stingray"),
         (&STINGRAY_PS225, Fig16Card::Stingray, Dispersion::High, "(d) high disp, Stingray"),
     ];
+    let mut points = Vec::new();
     for (spec, card, disp, label) in cells {
         let dist = fig16_distribution(card, disp);
         for &load in &loads {
-            let mut cols = vec![label.to_string(), format!("{load:.1}")];
             for d in [Discipline::FcfsOnly, Discipline::DrrOnly, Discipline::Hybrid] {
-                let p = run_fig16(spec, dist, d, load, 8, requests, 2);
-                cols.push(format!("{:.1}", p.p99.as_us_f64()));
+                points.push((spec, dist, d, load, label));
             }
-            rows.push(cols);
         }
+    }
+    let p99s = parallel_sweep(&points, default_workers(), |_, &(spec, dist, d, load, _)| {
+        run_fig16(spec, dist, d, load, 8, requests, 2).p99
+    });
+    let mut rows = Vec::new();
+    for (chunk, ps) in points.chunks(3).zip(p99s.chunks(3)) {
+        let (_, _, _, load, label) = chunk[0];
+        let mut cols = vec![label.to_string(), format!("{load:.1}")];
+        cols.extend(ps.iter().map(|p| format!("{:.1}", p.as_us_f64())));
+        rows.push(cols);
     }
     render_table(
         "Fig 16: P99 tail latency (us) vs load — FCFS / DRR / iPipe hybrid",

@@ -1,0 +1,75 @@
+//! Fixed-seed replay regression: the exact summary counters below were
+//! captured from the `BinaryHeap`-backed event queue before the switch to
+//! the timing wheel. Any change to event ordering — queue internals,
+//! scheduler dispatch order, RNG consumption — shifts these counters, so
+//! this test pins bit-for-bit replay equivalence across refactors.
+
+use ipipe::sched::Discipline;
+use ipipe_baseline::fig16::run_fig16;
+use ipipe_nicsim::{CN2350, STINGRAY_PS225};
+use ipipe_sim::sweep::parallel_sweep;
+use ipipe_workload::service::{fig16_distribution, Dispersion, Fig16Card};
+
+/// (discipline, cn2350-high (mean, p99), stingray-low (mean, p99)) at seed 2,
+/// 8 actors, 4000 requests; every cell completes 3000 requests.
+const EXPECTED: [(Discipline, (u64, u64), (u64, u64)); 3] = [
+    (Discipline::FcfsOnly, (39_567, 54_271), (32_246, 135_167)),
+    (Discipline::DrrOnly, (39_567, 56_319), (32_001, 139_263)),
+    (Discipline::Hybrid, (44_686, 52_223), (32_246, 135_167)),
+];
+
+#[test]
+fn fig16_counters_replay_bit_for_bit() {
+    for (disc, cn2350, stingray) in EXPECTED {
+        let p = run_fig16(
+            &CN2350,
+            fig16_distribution(Fig16Card::LiquidIo, Dispersion::High),
+            disc,
+            0.6,
+            8,
+            4000,
+            2,
+        );
+        assert_eq!(
+            (p.mean.as_ns(), p.p99.as_ns(), p.completed),
+            (cn2350.0, cn2350.1, 3000),
+            "cn2350 high {disc:?} diverged from the pre-wheel baseline"
+        );
+        let p = run_fig16(
+            &STINGRAY_PS225,
+            fig16_distribution(Fig16Card::Stingray, Dispersion::Low),
+            disc,
+            0.8,
+            8,
+            4000,
+            2,
+        );
+        assert_eq!(
+            (p.mean.as_ns(), p.p99.as_ns(), p.completed),
+            (stingray.0, stingray.1, 3000),
+            "stingray low {disc:?} diverged from the pre-wheel baseline"
+        );
+    }
+}
+
+#[test]
+fn fig16_sweep_is_worker_count_invariant() {
+    // Real simulations through the sweep runner: one worker and many
+    // workers must return identical counters in input order.
+    let loads = [0.3, 0.6, 0.8, 0.9];
+    let run = |workers| {
+        parallel_sweep(&loads, workers, |_, &load| {
+            let p = run_fig16(
+                &CN2350,
+                fig16_distribution(Fig16Card::LiquidIo, Dispersion::High),
+                Discipline::Hybrid,
+                load,
+                8,
+                1500,
+                2,
+            );
+            (p.mean.as_ns(), p.p99.as_ns(), p.completed)
+        })
+    };
+    assert_eq!(run(1), run(4));
+}

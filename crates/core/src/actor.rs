@@ -166,7 +166,7 @@ impl<'a> ActorCtx<'a> {
 
     /// Deterministic randomness for the handler.
     pub fn rng(&mut self) -> &mut DetRng {
-        &mut self.rng
+        self.rng
     }
 
     /// The node's DMO table, scoped to this actor for isolation checks.

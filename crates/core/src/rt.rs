@@ -265,6 +265,8 @@ impl ClusterBuilder {
             next_actor: 1,
             measure_start: SimTime::ZERO,
             kills: Vec::new(),
+            ev_batch: Vec::new(),
+            action_scratch: Vec::new(),
         }
     }
 }
@@ -294,6 +296,10 @@ pub struct Cluster {
     next_actor: ActorId,
     measure_start: SimTime,
     kills: Vec<(u16, ActorId)>,
+    /// Reusable same-timestamp event batch for the dispatch loop.
+    ev_batch: Vec<Ev>,
+    /// Reusable scheduler-action buffer drained after each NIC completion.
+    action_scratch: Vec<Action>,
 }
 
 impl Cluster {
@@ -406,17 +412,27 @@ impl Cluster {
     }
 
     /// Run the event loop for `dur` of simulated time.
+    ///
+    /// Dispatch is batched per distinct timestamp: one traversal of the
+    /// event queue serves every simultaneous event (common under bursty
+    /// closed-loop load), and handlers scheduling at the current instant
+    /// form a follow-up batch with larger sequence numbers — the exact
+    /// firing order of the one-pop-per-event loop this replaces.
     pub fn run_for(&mut self, dur: SimTime) {
         let end = self.events.now() + dur;
+        let mut batch = std::mem::take(&mut self.ev_batch);
         loop {
             match self.events.peek_time() {
                 Some(at) if at <= end => {
-                    let (now, ev) = self.events.pop().expect("peeked");
-                    self.handle(now, ev);
+                    let now = self.events.pop_batch(&mut batch).expect("peeked");
+                    for ev in batch.drain(..) {
+                        self.handle(now, ev);
+                    }
                 }
                 _ => break,
             }
         }
+        self.ev_batch = batch;
         self.events.advance_to(end);
     }
 
@@ -752,10 +768,12 @@ impl Cluster {
             );
         }
         self.route_emits(now, node, inflight.emits, true);
-        let actions = self.nodes[node as usize].sched.take_actions();
-        for a in actions {
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        self.nodes[node as usize].sched.take_actions_into(&mut actions);
+        for a in actions.drain(..) {
             self.apply_action(now, node, a);
         }
+        self.action_scratch = actions;
         // Reentrant kicks from route_emits may already have restarted this
         // core; only pull new work if it is still idle.
         if self.nodes[node as usize].nic_inflight[core as usize].is_none() {
@@ -1236,7 +1254,7 @@ fn host_egress_delay(mode: RuntimeMode, spec: &NicSpec, size: u32) -> SimTime {
 /// whether the actor's working set fits (implication I5).
 fn nic_mem_time(spec: &NicSpec, state_hot: bool, t: crate::dmo::DmoTraffic) -> SimTime {
     let line = spec.cache.line as u64;
-    let lines = t.bytes / line + (t.bytes % line != 0) as u64;
+    let lines = t.bytes.div_ceil(line);
     let data_lat = if state_hot { spec.mem.l2 } else { spec.mem.dram };
     spec.mem.l2 * t.lookups + data_lat * lines
 }
@@ -1244,7 +1262,7 @@ fn nic_mem_time(spec: &NicSpec, state_hot: bool, t: crate::dmo::DmoTraffic) -> S
 /// Host-side memory time for the same traffic (faster hierarchy, more MLP).
 fn host_mem_time(host: &HostSpec, t: crate::dmo::DmoTraffic) -> SimTime {
     let line = host.cache.line as u64;
-    let lines = t.bytes / line + (t.bytes % line != 0) as u64;
+    let lines = t.bytes.div_ceil(line);
     let l3 = host.mem.l3.unwrap_or(host.mem.dram);
     l3 * t.lookups + l3 * lines
 }

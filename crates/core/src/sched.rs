@@ -214,6 +214,10 @@ pub struct NicScheduler {
     fcfs_queue: VecDeque<Request>,
     /// DRR runnable queue (actor ids) and scan cursor.
     drr_runnable: VecDeque<ActorId>,
+    /// Total queued requests across the runnable actors' mailboxes,
+    /// maintained incrementally so the DRR idle check and the core
+    /// rebalancer don't rescan every actor on the hot path.
+    drr_backlog: usize,
     actors: HashMap<ActorId, ActorSched>,
     /// FCFS group latency statistics.
     fcfs_group: GroupStats,
@@ -243,6 +247,7 @@ impl NicScheduler {
             spec,
             fcfs_queue: VecDeque::new(),
             drr_runnable: VecDeque::new(),
+            drr_backlog: 0,
             actors: HashMap::new(),
             fcfs_group: GroupStats::new(cfg.ewma_alpha),
             modes,
@@ -275,38 +280,60 @@ impl NicScheduler {
 
     /// Deregister (DoS kill or teardown).
     pub fn deregister(&mut self, actor: ActorId) {
+        self.drr_runnable_remove(actor);
         self.actors.remove(&actor);
-        self.drr_runnable.retain(|&a| a != actor);
         self.fcfs_queue.retain(|r| r.actor != actor);
+    }
+
+    /// Add `actor` to the DRR runnable queue, folding its queued mail into
+    /// the backlog counter. The actor must be registered.
+    fn drr_runnable_push(&mut self, actor: ActorId) {
+        self.drr_backlog += self.actors[&actor].mailbox.len();
+        self.drr_runnable.push_back(actor);
+    }
+
+    /// Remove `actor` from the DRR runnable queue (if present), keeping the
+    /// backlog counter in sync.
+    fn drr_runnable_remove(&mut self, actor: ActorId) {
+        let before = self.drr_runnable.len();
+        self.drr_runnable.retain(|&x| x != actor);
+        if self.drr_runnable.len() != before {
+            let queued = self.actors.get(&actor).map(|a| a.mailbox.len()).unwrap_or(0);
+            self.drr_backlog -= queued;
+        }
     }
 
     /// Update an actor's location (migration completion).
     pub fn set_location(&mut self, actor: ActorId, loc: Loc) {
-        if let Some(a) = self.actors.get_mut(&actor) {
-            a.loc = loc;
-            if loc != Loc::Nic {
-                a.is_drr = false;
-                self.drr_runnable.retain(|&x| x != actor);
-            } else if self.cfg.discipline == Discipline::DrrOnly {
-                a.is_drr = true;
-                if !self.drr_runnable.contains(&actor) {
-                    self.drr_runnable.push_back(actor);
-                }
+        let Some(a) = self.actors.get_mut(&actor) else {
+            return;
+        };
+        a.loc = loc;
+        if loc != Loc::Nic {
+            a.is_drr = false;
+            self.drr_runnable_remove(actor);
+        } else if self.cfg.discipline == Discipline::DrrOnly {
+            a.is_drr = true;
+            if !self.drr_runnable.contains(&actor) {
+                self.drr_runnable_push(actor);
             }
         }
     }
 
     /// Current location of an actor.
+    #[inline]
     pub fn location(&self, actor: ActorId) -> Option<Loc> {
         self.actors.get(&actor).map(|a| a.loc)
     }
 
     /// Whether the actor is currently DRR-served.
+    #[inline]
     pub fn is_drr(&self, actor: ActorId) -> bool {
         self.actors.get(&actor).map(|a| a.is_drr).unwrap_or(false)
     }
 
     /// Shared-queue depth (diagnostics).
+    #[inline]
     pub fn fcfs_depth(&self) -> usize {
         self.fcfs_queue.len()
     }
@@ -386,6 +413,7 @@ impl NicScheduler {
                 let req = self.fcfs_queue.pop_front().expect("checked front");
                 if let Some(a) = self.actors.get_mut(&req.actor) {
                     a.mailbox.push(req);
+                    self.drr_backlog += 1;
                 }
             }
             return None;
@@ -408,6 +436,7 @@ impl NicScheduler {
                 Loc::Nic => {
                     if a.is_drr {
                         a.mailbox.push(req);
+                        self.drr_backlog += 1;
                         continue;
                     }
                     return Some(Work::Exec(req));
@@ -433,19 +462,17 @@ impl NicScheduler {
             let req = self.fcfs_queue.pop_front().expect("checked front");
             if let Some(a) = self.actors.get_mut(&req.actor) {
                 a.mailbox.push(req);
+                self.drr_backlog += 1;
             }
         }
         // A DRR core spins through round-robin sweeps (ALG 2's outer while
         // loop): each sweep adds every runnable actor's quantum; the first
         // actor whose deficit covers its estimated latency is served. With
-        // all mailboxes empty the core goes idle.
-        if !self
-            .drr_runnable
-            .iter()
-            .any(|id| !self.actors[id].mailbox.is_empty())
-        {
+        // all mailboxes empty (a zero backlog) the core goes idle.
+        if self.drr_backlog == 0 {
             // ALG 2 line 16 for everyone: empty mailboxes zero the deficit.
-            for id in self.drr_runnable.clone() {
+            for i in 0..self.drr_runnable.len() {
+                let id = self.drr_runnable[i];
                 if let Some(a) = self.actors.get_mut(&id) {
                     a.deficit = 0.0;
                 }
@@ -488,6 +515,7 @@ impl NicScheduler {
                     if a.deficit >= est {
                         a.deficit -= est;
                         let req = a.mailbox.pop().expect("checked non-empty");
+                        self.drr_backlog -= 1;
                         return Some(Work::Exec(req));
                     }
                 }
@@ -582,7 +610,7 @@ impl NicScheduler {
                 a.is_drr = true;
                 a.deficit = 0.0;
                 a.last_regroup = now;
-                self.drr_runnable.push_back(id);
+                self.drr_runnable_push(id);
                 self.pending.push(Action::Regrouped {
                     actor: id,
                     to_drr: true,
@@ -621,7 +649,7 @@ impl NicScheduler {
                 let a = self.actors.get_mut(&id).expect("exists");
                 a.is_drr = false;
                 a.last_regroup = now;
-                self.drr_runnable.retain(|&x| x != id);
+                self.drr_runnable_remove(id);
                 self.pending.push(Action::Regrouped {
                     actor: id,
                     to_drr: false,
@@ -658,7 +686,7 @@ impl NicScheduler {
                 let a = self.actors.get_mut(&id).expect("exists");
                 a.loc = Loc::Migrating;
                 a.is_drr = false;
-                self.drr_runnable.retain(|&x| x != id);
+                self.drr_runnable_remove(id);
                 self.migrations_started += 1;
                 self.pending.push(Action::PushMigrate(id));
             }
@@ -682,7 +710,7 @@ impl NicScheduler {
         if a.is_drr && a.loc == Loc::Nic && a.mailbox.len() > self.cfg.q_thresh {
             a.loc = Loc::Migrating;
             a.is_drr = false;
-            self.drr_runnable.retain(|&x| x != actor);
+            self.drr_runnable_remove(actor);
             self.migrations_started += 1;
             self.pending.push(Action::PushMigrate(actor));
         }
@@ -723,12 +751,7 @@ impl NicScheduler {
         // pressure signal.
         let drr_util = self.group_util(now, CoreMode::Drr);
         let fcfs_util = self.group_util(now, CoreMode::Fcfs);
-        let backlog: usize = self
-            .drr_runnable
-            .iter()
-            .map(|id| self.actors[id].mailbox.len())
-            .sum();
-        let drr_pressed = drr_util >= 0.95 || backlog > 4 * drr_n as usize;
+        let drr_pressed = drr_util >= 0.95 || self.drr_backlog > 4 * drr_n as usize;
         if drr_pressed && fcfs_n > 1 && fcfs_util < (fcfs_n as f64 - 1.0) / fcfs_n as f64 {
             if let Some(core) = self.modes.iter().rposition(|&m| m == CoreMode::Fcfs) {
                 if core != 0 {
@@ -771,6 +794,14 @@ impl NicScheduler {
         std::mem::take(&mut self.pending)
     }
 
+    /// Drain pending actions into a caller-owned buffer (cleared first), so
+    /// per-completion polling reuses one allocation instead of handing out a
+    /// fresh `Vec` each time.
+    pub fn take_actions_into(&mut self, out: &mut Vec<Action>) {
+        out.clear();
+        out.append(&mut self.pending);
+    }
+
     /// FCFS group statistics (read-only view).
     pub fn fcfs_group(&self) -> &GroupStats {
         &self.fcfs_group
@@ -789,14 +820,22 @@ impl NicScheduler {
     /// Actors currently located on the NIC with observed stats, and their
     /// loads — the pull-migration candidate list comes from the host side.
     pub fn nic_actor_loads(&self) -> Vec<(ActorId, f64)> {
-        let mut v: Vec<_> = self
-            .actors
-            .iter()
-            .filter(|(_, a)| a.loc == Loc::Nic)
-            .map(|(&id, a)| (id, a.stats.load()))
-            .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut v = Vec::new();
+        self.nic_actor_loads_into(&mut v);
         v
+    }
+
+    /// [`NicScheduler::nic_actor_loads`] into a caller-owned buffer
+    /// (cleared first) for callers that poll this on every decision tick.
+    pub fn nic_actor_loads_into(&self, out: &mut Vec<(ActorId, f64)>) {
+        out.clear();
+        out.extend(
+            self.actors
+                .iter()
+                .filter(|(_, a)| a.loc == Loc::Nic)
+                .map(|(&id, a)| (id, a.stats.load())),
+        );
+        out.sort_by_key(|&(id, _)| id);
     }
 
     /// Total push migrations initiated.
@@ -1041,6 +1080,30 @@ mod tests {
         s.deregister(1);
         assert!(s.next_for_core(SimTime::ZERO, 0).is_none());
         assert_eq!(s.location(1), None);
+    }
+
+    #[test]
+    fn drr_backlog_counter_tracks_runnable_mailboxes() {
+        let mut s = sched();
+        s.actor_mut(2).unwrap().is_drr = true;
+        s.drr_runnable.push_back(2);
+        for t in 0..6 {
+            s.on_arrival(SimTime::ZERO, req(2, t));
+        }
+        let _ = s.next_for_core(SimTime::ZERO, 0); // dispatch into mailbox
+        let sum: usize = s
+            .drr_runnable
+            .iter()
+            .map(|id| s.actors[id].mailbox.len())
+            .sum();
+        assert_eq!(s.drr_backlog, sum);
+        assert_eq!(s.drr_backlog, 6);
+        // Serving decrements; leaving the runnable queue zeroes the share.
+        s.modes[11] = CoreMode::Drr;
+        while !matches!(s.next_for_core(SimTime::ZERO, 11), Some(Work::Exec(_))) {}
+        assert_eq!(s.drr_backlog, 5);
+        s.set_location(2, Loc::Host);
+        assert_eq!(s.drr_backlog, 0);
     }
 
     #[test]

@@ -12,6 +12,10 @@ use ipipe_sim::DetRng;
 
 /// Fixed key width (the RKV workload uses 16-byte keys, §5.1).
 pub const KEY_LEN: usize = 16;
+
+/// Ordered `(key, value)` pairs as returned by range scans and full
+/// traversals.
+pub type KvPairs = Vec<([u8; KEY_LEN], Vec<u8>)>;
 /// Maximum tower height.
 pub const MAX_LEVEL: usize = 12;
 
@@ -135,8 +139,7 @@ impl DmoSkipList {
         if lvl > self.level {
             self.level = lvl;
         }
-        for l in 0..lvl {
-            let prev = update[l];
+        for (l, &prev) in update.iter().enumerate().take(lvl) {
             let next = Self::fwd(dmo, prev, l)?;
             Self::set_fwd(dmo, node, l, next)?;
             Self::set_fwd(dmo, prev, l, node)?;
@@ -174,8 +177,7 @@ impl DmoSkipList {
             return Ok(false);
         }
         let lvl = dmo.read_u64(target, OFF_LEVEL)? as usize;
-        for l in 0..lvl {
-            let prev = update[l];
+        for (l, &prev) in update.iter().enumerate().take(lvl) {
             if Self::fwd(dmo, prev, l)? == target {
                 let next = Self::fwd(dmo, target, l)?;
                 Self::set_fwd(dmo, prev, l, next)?;
@@ -201,7 +203,7 @@ impl DmoSkipList {
         dmo: &mut ActorDmo<'_>,
         from: &[u8; KEY_LEN],
         n: usize,
-    ) -> Result<Vec<([u8; KEY_LEN], Vec<u8>)>, DmoError> {
+    ) -> Result<KvPairs, DmoError> {
         let update = self.find_update(dmo, from)?;
         let mut x = Self::fwd(dmo, update[0], 0)?;
         let mut out = Vec::new();
@@ -216,10 +218,7 @@ impl DmoSkipList {
     }
 
     /// In-order traversal of (key, value) pairs — the Memtable flush path.
-    pub fn iter_all(
-        &self,
-        dmo: &mut ActorDmo<'_>,
-    ) -> Result<Vec<([u8; KEY_LEN], Vec<u8>)>, DmoError> {
+    pub fn iter_all(&self, dmo: &mut ActorDmo<'_>) -> Result<KvPairs, DmoError> {
         let mut out = Vec::with_capacity(self.len as usize);
         let mut x = Self::fwd(dmo, self.head, 0)?;
         while !x.is_null() {

@@ -148,8 +148,7 @@ impl Aes {
     /// CTR-mode keystream transform (encryption and decryption are the same
     /// operation). `nonce` seeds the upper 8 bytes of the counter block.
     pub fn ctr_transform(&self, nonce: u64, data: &mut [u8]) {
-        let mut counter: u64 = 0;
-        for chunk in data.chunks_mut(16) {
+        for (counter, chunk) in (0u64..).zip(data.chunks_mut(16)) {
             let mut block = [0u8; 16];
             block[..8].copy_from_slice(&nonce.to_be_bytes());
             block[8..].copy_from_slice(&counter.to_be_bytes());
@@ -157,7 +156,6 @@ impl Aes {
             for (d, k) in chunk.iter_mut().zip(block.iter()) {
                 *d ^= k;
             }
-            counter += 1;
         }
     }
 }

@@ -23,9 +23,10 @@
 pub mod event;
 pub mod rng;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
 pub use rng::DetRng;
 pub use stats::{Ewma, Histogram, TailEstimator, Welford};
 pub use time::SimTime;

@@ -195,16 +195,19 @@ mod tests {
     #[test]
     fn high_dispersion_trace_out_disperses_the_exponential() {
         // "dispersion" in the paper is about tail behaviour: the exponential
-        // has SCV ~1; the rare-heavy bimodal must exceed it.
+        // has SCV ~1; the rare-heavy bimodal must exceed it. The bimodal's
+        // analytic SCV is only ~1.06, so the sample count must be large
+        // enough that estimator noise (driven by the 0.8% heavy mode) cannot
+        // drag the estimate below 1.
         let low = scv(
             &fig16_distribution(Fig16Card::LiquidIo, Dispersion::Low),
-            50_000,
+            400_000,
             1,
         );
         assert!((low - 1.0).abs() < 0.1, "exp scv={low}");
         let high = scv(
             &fig16_distribution(Fig16Card::LiquidIo, Dispersion::High),
-            50_000,
+            400_000,
             1,
         );
         assert!(high > 1.0, "the high-dispersion trace must out-disperse the exponential: scv={high}");

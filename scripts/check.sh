@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would require before merging.
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> all checks passed"

@@ -11,7 +11,7 @@ use ipipe_repro::apps::micro::{KvCache, LpmRouter, PFabricScheduler};
 use ipipe_repro::apps::rkv::lsm::{Levels, SsTable};
 use ipipe_repro::apps::rta::regex::Regex;
 use ipipe_repro::nicsim::crypto::{crc32, md5, sha1};
-use ipipe_repro::sim::{DetRng, Histogram, SimTime};
+use ipipe_repro::sim::{DetRng, EventQueue, HeapEventQueue, Histogram, SimTime};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -303,5 +303,127 @@ proptest! {
                 .sum::<u64>();
         prop_assert_eq!(executed + queued, arrivals,
             "executed={} queued={} arrivals={}", executed, queued, arrivals);
+    }
+
+    /// The timing-wheel event queue replays bit-for-bit identically to the
+    /// reference BinaryHeap queue under arbitrary interleavings of
+    /// scheduling (quantized delays force same-instant bursts, plus a
+    /// far-future spill path), pops with zero-delay self-reschedules, and
+    /// advance_to jumps.
+    #[test]
+    fn timing_wheel_matches_heap_reference(
+        ops in prop::collection::vec((0u8..8, 0u64..4096, 0u64..200_000), 1..300)
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut next_id = 0u64;
+        for (op, small, big) in ops {
+            match op {
+                // Schedule after a coarsely quantized delay (collisions
+                // likely), including zero-delay.
+                0..=2 => {
+                    let delay = SimTime::from_ns((small / 64) * 64);
+                    wheel.schedule_after(delay, next_id);
+                    heap.schedule_after(delay, next_id);
+                    next_id += 1;
+                }
+                // Far future: beyond the wheel horizon (spill heap path).
+                3 => {
+                    let at = wheel.now() + SimTime::from_ns((1 << 49) + big);
+                    wheel.schedule_at(at, next_id);
+                    heap.schedule_at(at, next_id);
+                    next_id += 1;
+                }
+                // Pop and compare; some events reschedule at their own
+                // timestamp (zero-delay self-reschedule).
+                4..=5 => {
+                    let a = wheel.pop();
+                    prop_assert_eq!(a, heap.pop());
+                    prop_assert_eq!(wheel.now(), heap.now());
+                    if let Some((t, id)) = a {
+                        if id % 3 == 0 {
+                            wheel.schedule_at(t, next_id);
+                            heap.schedule_at(t, next_id);
+                            next_id += 1;
+                        }
+                    }
+                }
+                // Same-instant burst.
+                6 => {
+                    let at = wheel.now() + SimTime::from_ns(big);
+                    for _ in 0..(small % 5) + 1 {
+                        wheel.schedule_at(at, next_id);
+                        heap.schedule_at(at, next_id);
+                        next_id += 1;
+                    }
+                }
+                // advance_to, clamped to the next pending event so it never
+                // skips one; big == 0 also exercises the t <= now no-op.
+                _ => {
+                    let mut t = wheel.now() + SimTime::from_ns(big);
+                    if let Some(at) = wheel.peek_time() {
+                        t = t.min(at);
+                    }
+                    wheel.advance_to(t);
+                    heap.advance_to(t);
+                    prop_assert_eq!(wheel.now(), heap.now());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Full drain: the remaining (time, event) streams must be identical.
+        loop {
+            let a = wheel.pop();
+            prop_assert_eq!(a, heap.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.now(), heap.now());
+    }
+
+    /// Batched dispatch fires the same events at the same instants in the
+    /// same order as the one-pop-per-event loop, with identical end-boundary
+    /// handling and identical leftovers.
+    #[test]
+    fn batched_run_matches_per_event_run(
+        delays in prop::collection::vec(0u64..4096, 1..200),
+        end_ns in 0u64..120_000
+    ) {
+        let end = SimTime::from_ns(end_ns);
+        let build = || {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule_at(SimTime::from_ns((d / 32) * 32), i as u64);
+            }
+            q
+        };
+        // (fired log, next fresh id) — handlers occasionally reschedule at
+        // their own timestamp to exercise same-instant follow-up batches.
+        let mut per_event = (Vec::new(), delays.len() as u64);
+        let mut q1 = build();
+        q1.run_until(&mut per_event, end, |q, st, t, id| {
+            st.0.push((t, id));
+            if id % 7 == 0 && st.1 < 2 * delays.len() as u64 {
+                q.schedule_at(t, st.1);
+                st.1 += 1;
+            }
+        });
+        let mut batched = (Vec::new(), delays.len() as u64);
+        let mut q2 = build();
+        q2.run_until_batched(&mut batched, end, |q, st, t, batch| {
+            for id in batch.drain(..) {
+                st.0.push((t, id));
+                if id % 7 == 0 && st.1 < 2 * delays.len() as u64 {
+                    q.schedule_at(t, st.1);
+                    st.1 += 1;
+                }
+            }
+        });
+        prop_assert_eq!(&per_event.0, &batched.0);
+        prop_assert_eq!(q1.now(), q2.now());
+        prop_assert_eq!(q1.len(), q2.len());
+        prop_assert_eq!(q1.drain_pending(), q2.drain_pending());
     }
 }

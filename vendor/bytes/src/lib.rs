@@ -1,0 +1,97 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace vendors the small slice of the API it actually uses so the
+//! build never reaches for a registry: a cheaply clonable, immutable,
+//! reference-counted byte buffer.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted contiguous byte buffer.
+///
+/// Cloning is O(1) (bumps the refcount); all reads go through `Deref<[u8]>`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer. Does not allocate a payload.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Wrap a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cheap_clone() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(b.len(), 9);
+        assert_eq!(&b[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let c = b.clone();
+        assert_eq!(c, b);
+        assert!(Bytes::new().is_empty());
+    }
+}

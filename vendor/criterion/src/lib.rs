@@ -1,0 +1,168 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench files compiling and
+//! runnable offline: each benchmark runs a short timed loop and prints a
+//! mean ns/iter line. No statistics, no HTML reports — for serious numbers
+//! the workspace ships purpose-built binaries (e.g. `desbench`) that measure
+//! what they need directly.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Iterations per measured benchmark. Deliberately small: the stub exists to
+/// keep benches exercisable, not to produce publishable statistics.
+const MEASURE_ITERS: u32 = 10;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    NumIterations(u64),
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {
+    group: Option<String>,
+}
+
+impl Criterion {
+    /// Run a single named benchmark. Accepts anything convertible to a
+    /// string so `format!`-built ids work like criterion's `BenchmarkId`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher { total_ns: 0, iters: 0 };
+        f(&mut b);
+        let label = match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name,
+        };
+        let per_iter = b.total_ns.checked_div(b.iters as u128).unwrap_or(0);
+        println!("bench {label:<48} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration workload size (ignored by the stub).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.c.group = Some(self.name.clone());
+        self.c.bench_function(name, f);
+        self.c.group = None;
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..MEASURE_ITERS {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` with a fresh un-timed `setup` product per iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, MEASURE_ITERS);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for `crossbeam`, exposing the lock-free-queue API surface
+//! this workspace uses (backed by a mutexed `VecDeque` — correctness over
+//! scalability; the simulator's hot paths never contend on it).
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue with the `crossbeam::queue::SegQueue` API.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Append an element at the tail.
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        }
+
+        /// Remove the head element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `rand_distr`: the exponential and Zipf distributions
+//! used by the workload generators, implemented with the textbook algorithms
+//! (inverse-CDF for Exp, Hörmann–Derflinger rejection-inversion for Zipf).
+
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A distribution over values of type `T`, sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Create from the rate parameter. Fails unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -ln(1 - U) / lambda, with U in [0, 1) so the argument
+        // of ln stays in (0, 1].
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Zipf distribution over `{1, 2, ..., n}` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+///
+/// Sampling uses rejection-inversion (Hörmann & Derflinger 1996), the same
+/// algorithm the real `rand_distr` uses: O(1) per draw, no `O(n)` tables.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// `H(1.5) - 1`, lower bound of the inversion domain.
+    h_x1: f64,
+    /// `H(n + 0.5)`, upper bound of the inversion domain.
+    h_n: f64,
+    /// Acceptance shortcut threshold.
+    cut: f64,
+}
+
+impl Zipf {
+    /// Create from the number of elements (as `f64`, truncated) and the
+    /// exponent `s >= 0`.
+    pub fn new(n: f64, s: f64) -> Result<Self, Error> {
+        if !n.is_finite() || n < 1.0 || !s.is_finite() || s < 0.0 {
+            return Err(Error);
+        }
+        let n = n.floor();
+        let h_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_n = Self::h_integral(n + 0.5, s);
+        let cut = 2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Ok(Zipf { n, s, h_x1, h_n, cut })
+    }
+
+    /// `H(x) = ∫ t^-s dt`: `(x^(1-s) - 1) / (1-s)`, or `ln x` at `s = 1`.
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        if (s - 1.0).abs() < 1e-9 {
+            log_x
+        } else {
+            (((1.0 - s) * log_x).exp() - 1.0) / (1.0 - s)
+        }
+    }
+
+    /// Inverse of [`Self::h_integral`].
+    fn h_integral_inv(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            let t = (x * (1.0 - s) + 1.0).max(f64::MIN_POSITIVE);
+            (t.ln() / (1.0 - s)).exp()
+        }
+    }
+
+    /// The density kernel `h(x) = x^-s`.
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.random();
+            let m = self.h_n + u * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inv(m, self.s);
+            let k = x.round().clamp(1.0, self.n);
+            if k - x <= self.cut
+                || m >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(0.001).unwrap(); // mean 1000
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let avg: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((avg - 1000.0).abs() / 1000.0 < 0.03, "avg={avg}");
+    }
+
+    #[test]
+    fn zipf_range_and_skew() {
+        let d = Zipf::new(1000.0, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0u64; 1001];
+        for _ in 0..50_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&k));
+            counts[k as usize] += 1;
+        }
+        assert!(counts[1] > counts[501].max(1) * 10, "not skewed: {} vs {}", counts[1], counts[501]);
+    }
+
+    #[test]
+    fn zipf_s_equal_one() {
+        let d = Zipf::new(64.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=64.0).contains(&k));
+        }
+    }
+}
