@@ -1,9 +1,7 @@
 //! The DT actors (§4): coordinator and participants run on the NIC; a
 //! logging actor is pinned to the host for persistent storage access.
 
-use super::txn::{
-    Coordinator, DtMsg, LogRecord, PartIdx, Participant, Step, TxId, KEY_LEN,
-};
+use super::txn::{Coordinator, DtMsg, LogRecord, PartIdx, Participant, Step, TxId, KEY_LEN};
 use ipipe::prelude::*;
 use ipipe::rt::Cluster;
 use ipipe_workload::txn::TxnRequest;

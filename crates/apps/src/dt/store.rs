@@ -204,7 +204,9 @@ impl<K: Hash + Eq + Clone> ExtHashTable<K> {
     pub fn iter(&self) -> impl Iterator<Item = (&K, &Record)> {
         // Each bucket appears multiple times in the directory; iterate the
         // bucket list itself.
-        self.buckets.iter().flat_map(|b| b.items.iter().map(|(k, r)| (k, r)))
+        self.buckets
+            .iter()
+            .flat_map(|b| b.items.iter().map(|(k, r)| (k, r)))
     }
 }
 
@@ -236,7 +238,11 @@ mod tests {
         assert_eq!(t.len(), 2000);
         assert!(t.global_depth() > 5, "depth={}", t.global_depth());
         for i in 0..2000u64 {
-            assert_eq!(t.get(&i).unwrap().value, i.to_le_bytes().to_vec(), "key {i}");
+            assert_eq!(
+                t.get(&i).unwrap().value,
+                i.to_le_bytes().to_vec(),
+                "key {i}"
+            );
         }
     }
 

@@ -240,7 +240,10 @@ impl Coordinator {
     ) -> Vec<(PartIdx, DtMsg)> {
         let mut by_part_r: HashMap<PartIdx, Vec<Key>> = HashMap::new();
         for k in reads {
-            by_part_r.entry(partition(&k, self.parts)).or_default().push(k);
+            by_part_r
+                .entry(partition(&k, self.parts))
+                .or_default()
+                .push(k);
         }
         let mut by_part_w: HashMap<PartIdx, Vec<(Key, Vec<u8>)>> = HashMap::new();
         for (k, v) in writes {
@@ -249,11 +252,7 @@ impl Coordinator {
                 .or_default()
                 .push((k, v));
         }
-        let mut targets: Vec<PartIdx> = by_part_r
-            .keys()
-            .chain(by_part_w.keys())
-            .copied()
-            .collect();
+        let mut targets: Vec<PartIdx> = by_part_r.keys().chain(by_part_w.keys()).copied().collect();
         targets.sort_unstable();
         targets.dedup();
         let msgs: Vec<(PartIdx, DtMsg)> = targets
@@ -468,7 +467,11 @@ impl Participant {
     /// Handle a coordinator message, producing the reply.
     pub fn handle(&mut self, msg: DtMsg) -> DtMsg {
         match msg {
-            DtMsg::ReadAndLock { txid, reads, writes } => {
+            DtMsg::ReadAndLock {
+                txid,
+                reads,
+                writes,
+            } => {
                 let mut ok = true;
                 // Lock the write set first.
                 let mut locked: Vec<Key> = Vec::new();
@@ -704,7 +707,13 @@ mod tests {
     #[test]
     fn absent_read_key_reads_empty_and_validates() {
         let (mut c, mut ps) = setup(2, 0);
-        let out = run_txn(&mut c, &mut ps, 8, vec![key(5)], vec![(key(6), b"v".to_vec())]);
+        let out = run_txn(
+            &mut c,
+            &mut ps,
+            8,
+            vec![key(5)],
+            vec![(key(6), b"v".to_vec())],
+        );
         match out {
             Step::Committed(reads) => assert_eq!(reads, vec![(key(5), Vec::new())]),
             other => panic!("{other:?}"),

@@ -211,6 +211,9 @@ mod tests {
         let prof = profile_workload(&mut w, &CN2350, 1024, 128, 7);
         let r = prof.evaluate(&core);
         let us = r.latency.as_us_f64();
-        assert!((us - 1.87).abs() < 1.0, "echo latency {us}us vs paper 1.87us");
+        assert!(
+            (us - 1.87).abs() < 1.0,
+            "echo latency {us}us vs paper 1.87us"
+        );
     }
 }

@@ -208,7 +208,10 @@ mod tests {
         let hot = *truth.values().max().unwrap();
         let hot_flow = truth.iter().max_by_key(|(_, &c)| c).unwrap().0;
         let est = s.estimate(*hot_flow);
-        assert!(((est - hot) as f64 / hot as f64) < 0.05, "est={est} true={hot}");
+        assert!(
+            ((est - hot) as f64 / hot as f64) < 0.05,
+            "est={est} true={hot}"
+        );
     }
 
     #[test]

@@ -170,14 +170,24 @@ mod tests {
 
     #[test]
     fn compression_actor_reduces_and_completes() {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(8).build();
-        let z = c.register_actor(0, "zip", Box::new(CompressionActor::default()), Placement::Nic);
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(8)
+            .build();
+        let z = c.register_actor(
+            0,
+            "zip",
+            Box::new(CompressionActor::default()),
+            Placement::Nic,
+        );
         c.set_client(
             0,
             Box::new(move |rng, _| {
                 // Log-like payload: repetitive prefix + variable tail.
-                let mut p = b"2026-07-07T12:00:00Z INFO request served status=200 path=/api/v1/items "
-                    .to_vec();
+                let mut p =
+                    b"2026-07-07T12:00:00Z INFO request served status=200 path=/api/v1/items "
+                        .to_vec();
                 p.extend_from_slice(rng.below(1 << 30).to_string().as_bytes());
                 while p.len() < 960 {
                     let l = p.len().min(128);
@@ -203,8 +213,17 @@ mod tests {
 
     #[test]
     fn firewall_classifies_at_line_rate_scale() {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(3).build();
-        let fw = c.register_actor(0, "firewall", Box::new(FirewallActor::new(8192, 1)), Placement::Nic);
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(3)
+            .build();
+        let fw = c.register_actor(
+            0,
+            "firewall",
+            Box::new(FirewallActor::new(8192, 1)),
+            Placement::Nic,
+        );
         c.set_client(
             0,
             Box::new(move |rng, _| {
@@ -229,12 +248,19 @@ mod tests {
         assert!(done > 1_000, "done={done}");
         // §5.7: average processing latency in the single-digit-to-tens of µs.
         let mean = c.completions().mean();
-        assert!(mean > SimTime::from_us(3) && mean < SimTime::from_us(120), "mean={mean}");
+        assert!(
+            mean > SimTime::from_us(3) && mean < SimTime::from_us(120),
+            "mean={mean}"
+        );
     }
 
     #[test]
     fn ipsec_gateway_encrypts_under_load() {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(4).build();
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(4)
+            .build();
         let gw = c.register_actor(0, "ipsec", Box::new(IpsecActor::new(8)), Placement::Nic);
         c.set_client(
             0,

@@ -182,7 +182,11 @@ mod tests {
     fn repetitive_data_compresses_well() {
         let data = vec![0xABu8; 10_000];
         let c = compress(&data);
-        assert!(ratio(data.len(), c.len()) > 20.0, "ratio {}", ratio(data.len(), c.len()));
+        assert!(
+            ratio(data.len(), c.len()) > 20.0,
+            "ratio {}",
+            ratio(data.len(), c.len())
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

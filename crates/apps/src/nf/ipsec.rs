@@ -107,7 +107,11 @@ impl IpsecGateway {
         }
         if pkt.seq > self.rx_high {
             let shift = pkt.seq - self.rx_high;
-            self.rx_window = if shift >= 64 { 0 } else { self.rx_window << shift };
+            self.rx_window = if shift >= 64 {
+                0
+            } else {
+                self.rx_window << shift
+            };
             self.rx_window |= 1;
             self.rx_high = pkt.seq;
         } else {
@@ -131,7 +135,10 @@ mod tests {
     fn gateway_pair() -> (IpsecGateway, IpsecGateway) {
         let ek = [0x11u8; 32];
         let ak = [0x22u8; 20];
-        (IpsecGateway::new(7, &ek, &ak), IpsecGateway::new(7, &ek, &ak))
+        (
+            IpsecGateway::new(7, &ek, &ak),
+            IpsecGateway::new(7, &ek, &ak),
+        )
     }
 
     #[test]

@@ -353,7 +353,9 @@ impl ActorLogic for MemtableActor {
                     ctx.charge(SimTime::from_ns(8_000 + frozen_bytes / 512));
                     let total: u64 = batch
                         .iter()
-                        .map(|(_, v)| KEY_LEN as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(1))
+                        .map(|(_, v)| {
+                            KEY_LEN as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(1)
+                        })
                         .sum();
                     let compaction = self.wiring.borrow().compaction[self.replica];
                     ctx.send(

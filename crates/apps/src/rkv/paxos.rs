@@ -113,7 +113,11 @@ impl PaxosNode {
         PaxosNode {
             id,
             n,
-            role: if id == 0 { Role::Leader } else { Role::Follower },
+            role: if id == 0 {
+                Role::Leader
+            } else {
+                Role::Follower
+            },
             promised: 0,
             ballot: 0,
             log: Vec::new(),
@@ -179,10 +183,7 @@ impl PaxosNode {
         let e = self.entry(slot);
         e.accepted_ballot = Some(ballot);
         e.value = Some(value.clone());
-        self.accept_votes
-            .entry(slot)
-            .or_default()
-            .insert(self.id);
+        self.accept_votes.entry(slot).or_default().insert(self.id);
         self.maybe_commit(slot); // single-replica groups commit immediately
         self.others()
             .map(|p| {
@@ -300,9 +301,20 @@ impl PaxosNode {
                         }
                     }
                 }
-                vec![(from, PaxosMsg::PrepareReply { ballot, ok, accepted })]
+                vec![(
+                    from,
+                    PaxosMsg::PrepareReply {
+                        ballot,
+                        ok,
+                        accepted,
+                    },
+                )]
             }
-            PaxosMsg::PrepareReply { ballot, ok, accepted } => {
+            PaxosMsg::PrepareReply {
+                ballot,
+                ok,
+                accepted,
+            } => {
                 if self.role != Role::Candidate || ballot != self.ballot || !ok {
                     return Vec::new();
                 }
@@ -378,7 +390,11 @@ impl PaxosNode {
                 }
                 out
             }
-            PaxosMsg::Accept { ballot, slot, value } => {
+            PaxosMsg::Accept {
+                ballot,
+                slot,
+                value,
+            } => {
                 let ok = ballot >= self.promised;
                 if ok {
                     self.promised = ballot;
@@ -432,7 +448,11 @@ mod tests {
 
     /// Deliver all in-flight messages until quiescence (optionally dropping
     /// everything to/from `dead`).
-    fn pump(nodes: &mut [PaxosNode], queue: &mut VecDeque<(NodeIdx, NodeIdx, PaxosMsg)>, dead: Option<NodeIdx>) {
+    fn pump(
+        nodes: &mut [PaxosNode],
+        queue: &mut VecDeque<(NodeIdx, NodeIdx, PaxosMsg)>,
+        dead: Option<NodeIdx>,
+    ) {
         while let Some((from, to, msg)) = queue.pop_front() {
             if Some(from) == dead || Some(to) == dead {
                 continue;
@@ -499,7 +519,12 @@ mod tests {
         }
         pump(&mut nodes, &mut q, None);
         for node in nodes.iter_mut() {
-            assert_eq!(node.drain_committed(), vec![(0, b"cmd1".to_vec())], "node {}", node.id());
+            assert_eq!(
+                node.drain_committed(),
+                vec![(0, b"cmd1".to_vec())],
+                "node {}",
+                node.id()
+            );
         }
     }
 

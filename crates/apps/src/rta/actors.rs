@@ -93,7 +93,13 @@ impl ActorLogic for FilterActor {
             if !kept.is_empty() {
                 let counter = self.topo.borrow().counter[self.worker];
                 let size = (kept.len() as u32 * TUPLE_WIRE_BYTES).min(1400);
-                ctx.send(counter, token, size, token, Some(Box::new(RtaMsg::Batch(kept))));
+                ctx.send(
+                    counter,
+                    token,
+                    size,
+                    token,
+                    Some(Box::new(RtaMsg::Batch(kept))),
+                );
             }
             // The data source gets a per-packet ack (the closed-loop driver
             // uses it as the completion signal).

@@ -153,20 +153,21 @@ impl Regex {
             next.push(usize::MAX);
             prog.len() - 1
         };
-        let patch = |prog: &mut Vec<Node>, next: &mut Vec<usize>, outs: &[(usize, u8)], to: usize| {
-            for &(s, branch) in outs {
-                match &mut prog[s] {
-                    Node::Split(a, b) => {
-                        if branch == 0 {
-                            *a = to;
-                        } else {
-                            *b = to;
+        let patch =
+            |prog: &mut Vec<Node>, next: &mut Vec<usize>, outs: &[(usize, u8)], to: usize| {
+                for &(s, branch) in outs {
+                    match &mut prog[s] {
+                        Node::Split(a, b) => {
+                            if branch == 0 {
+                                *a = to;
+                            } else {
+                                *b = to;
+                            }
                         }
+                        _ => next[s] = to,
                     }
-                    _ => next[s] = to,
                 }
-            }
-        };
+            };
 
         for t in postfix {
             match t {
@@ -280,16 +281,15 @@ impl Regex {
             }
         }
         let _ = on;
-        cur.iter().any(|&s| self.prog[s] == Node::Match)
-            || {
-                // Empty-remainder case: start state reaches Match via splits.
-                let mut l = Vec::new();
-                let mut o = vec![false; self.prog.len()];
-                for &s in &cur {
-                    self.add_state(&mut l, &mut o, s);
-                }
-                l.iter().any(|&s| self.prog[s] == Node::Match)
+        cur.iter().any(|&s| self.prog[s] == Node::Match) || {
+            // Empty-remainder case: start state reaches Match via splits.
+            let mut l = Vec::new();
+            let mut o = vec![false; self.prog.len()];
+            for &s in &cur {
+                self.add_state(&mut l, &mut o, s);
             }
+            l.iter().any(|&s| self.prog[s] == Node::Match)
+        }
     }
 
     /// Unanchored search: does `text` contain a match anywhere?

@@ -42,15 +42,20 @@ fn bench_occ_txn(c: &mut Criterion) {
                 let mut parts = vec![Participant::new(), Participant::new()];
                 for i in 0..512u64 {
                     let k = key(i);
-                    parts[partition(&k, 2) as usize].store.insert(k, vec![0u8; 32]);
+                    parts[partition(&k, 2) as usize]
+                        .store
+                        .insert(k, vec![0u8; 32]);
                 }
                 (coord, parts)
             },
             |(mut coord, mut parts)| {
                 let mut committed = 0;
                 for t in 1..=64u64 {
-                    let mut inbox =
-                        coord.begin(t, vec![key(t % 512), key((t + 7) % 512)], vec![(key((t + 13) % 512), vec![1u8; 32])]);
+                    let mut inbox = coord.begin(
+                        t,
+                        vec![key(t % 512), key((t + 7) % 512)],
+                        vec![(key((t + 13) % 512), vec![1u8; 32])],
+                    );
                     loop {
                         let mut next = Vec::new();
                         let mut finished = false;

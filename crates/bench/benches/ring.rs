@@ -96,5 +96,10 @@ fn bench_host_pool(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ring_pushpop, bench_sg_ablation, bench_host_pool);
+criterion_group!(
+    benches,
+    bench_ring_pushpop,
+    bench_sg_ablation,
+    bench_host_pool
+);
 criterion_main!(benches);

@@ -36,7 +36,8 @@ fn bench_sched_hot_path(c: &mut Criterion) {
                 let mut served = 0u64;
                 for i in 0..256u64 {
                     s.on_arrival(SimTime::from_us(i), req((i % 8) as u32, i));
-                    if let Some(Work::Exec(r)) = s.next_for_core(SimTime::from_us(i), (i % 12) as u32)
+                    if let Some(Work::Exec(r)) =
+                        s.next_for_core(SimTime::from_us(i), (i % 12) as u32)
                     {
                         s.on_complete(
                             SimTime::from_us(i + 10),

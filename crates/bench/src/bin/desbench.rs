@@ -62,14 +62,19 @@ fn run_wheel(seed: u64, total: u64) -> RunStats {
         q.schedule_after(next_delay(&mut rng), t);
     }
     for _ in 0..LONG_TIMERS {
-        q.schedule_after(SimTime::from_secs(60) + SimTime::from_ns(rng.below(60_000_000_000)), next_id);
+        q.schedule_after(
+            SimTime::from_secs(60) + SimTime::from_ns(rng.below(60_000_000_000)),
+            next_id,
+        );
         next_id += 1;
     }
     let mut fired = 0u64;
     let mut peak = q.len();
     let mut batch = Vec::new();
     while fired < total {
-        let now = q.pop_batch(&mut batch).expect("timers keep the queue alive");
+        let now = q
+            .pop_batch(&mut batch)
+            .expect("timers keep the queue alive");
         fired += batch.len() as u64;
         for &id in batch.iter() {
             if id < TIMERS {
@@ -83,7 +88,11 @@ fn run_wheel(seed: u64, total: u64) -> RunStats {
         }
         peak = peak.max(q.len());
     }
-    RunStats { fired, peak_depth: peak, final_now: q.now() }
+    RunStats {
+        fired,
+        peak_depth: peak,
+        final_now: q.now(),
+    }
 }
 
 /// Reference run: same workload through the `BinaryHeap` queue, one pop per
@@ -96,7 +105,10 @@ fn run_heap(seed: u64, total: u64) -> RunStats {
         q.schedule_after(next_delay(&mut rng), t);
     }
     for _ in 0..LONG_TIMERS {
-        q.schedule_after(SimTime::from_secs(60) + SimTime::from_ns(rng.below(60_000_000_000)), next_id);
+        q.schedule_after(
+            SimTime::from_secs(60) + SimTime::from_ns(rng.below(60_000_000_000)),
+            next_id,
+        );
         next_id += 1;
     }
     let mut fired = 0u64;
@@ -114,7 +126,11 @@ fn run_heap(seed: u64, total: u64) -> RunStats {
         }
         peak = peak.max(q.len());
     }
-    RunStats { fired, peak_depth: peak, final_now: q.now() }
+    RunStats {
+        fired,
+        peak_depth: peak,
+        final_now: q.now(),
+    }
 }
 
 fn measure(run: impl Fn(u64, u64) -> RunStats) -> (RunStats, f64) {

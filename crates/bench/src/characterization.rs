@@ -138,7 +138,15 @@ pub fn render_fig6() -> String {
         .collect();
     render_table(
         "Fig 6: send/recv latency (us) — SmartNIC vs DPDK vs RDMA",
-        &["size", "NIC-send", "NIC-recv", "DPDK-send", "DPDK-recv", "RDMA-send", "RDMA-recv"],
+        &[
+            "size",
+            "NIC-send",
+            "NIC-recv",
+            "DPDK-send",
+            "DPDK-recv",
+            "RDMA-send",
+            "RDMA-recv",
+        ],
         &rows,
     )
 }
@@ -163,7 +171,16 @@ pub fn render_fig78() -> String {
         .collect();
     render_table(
         "Figs 7+8: DMA latency (us) and throughput (Mops), CN2350",
-        &["size", "blkR-lat", "blkW-lat", "nb-lat", "blkR-Mops", "blkW-Mops", "nbR-Mops", "nbW-Mops"],
+        &[
+            "size",
+            "blkR-lat",
+            "blkW-lat",
+            "nb-lat",
+            "blkR-Mops",
+            "blkW-Mops",
+            "nbR-Mops",
+            "nbW-Mops",
+        ],
         &rows,
     )
 }
@@ -210,7 +227,17 @@ pub fn render_table1() -> String {
         .collect();
     render_table(
         "Table 1: SmartNIC specifications",
-        &["model", "vendor", "processor", "BW", "L1", "L2", "DRAM", "SW", "Nstack"],
+        &[
+            "model",
+            "vendor",
+            "processor",
+            "BW",
+            "L1",
+            "L2",
+            "DRAM",
+            "SW",
+            "Nstack",
+        ],
         &rows,
     )
 }
@@ -219,7 +246,12 @@ pub fn render_table1() -> String {
 /// simulator with L1/L2/DRAM-resident working sets.
 pub fn render_table2() -> String {
     let mut rows = Vec::new();
-    for spec in ALL_NICS.iter().take(3).chain(std::iter::once(&&STINGRAY_PS225)).take(3) {
+    for spec in ALL_NICS
+        .iter()
+        .take(3)
+        .chain(std::iter::once(&&STINGRAY_PS225))
+        .take(3)
+    {
         let _ = spec;
     }
     let cards: [(&str, &NicSpec); 3] = [
@@ -229,8 +261,20 @@ pub fn render_table2() -> String {
     ];
     for (name, spec) in cards {
         let l1 = pointer_chase(spec.cache, spec.mem, 16 * 1024, 40_000, 1);
-        let l2 = pointer_chase(spec.cache, spec.mem, spec.cache.l2_bytes as u64 / 2, 40_000, 1);
-        let dram = pointer_chase(spec.cache, spec.mem, 4 * spec.cache.l2_bytes as u64, 20_000, 1);
+        let l2 = pointer_chase(
+            spec.cache,
+            spec.mem,
+            spec.cache.l2_bytes as u64 / 2,
+            40_000,
+            1,
+        );
+        let dram = pointer_chase(
+            spec.cache,
+            spec.mem,
+            4 * spec.cache.l2_bytes as u64,
+            20_000,
+            1,
+        );
         rows.push(vec![
             name.to_string(),
             format!("{:.1}", l1.avg_latency.as_ns() as f64),
@@ -278,7 +322,9 @@ pub fn render_table3_workloads() -> String {
         .collect();
     render_table(
         "Table 3 (workloads): measured vs paper on CN2350, 1KB requests",
-        &["workload", "lat(us)", "paper", "IPC", "paper", "MPKI", "paper"],
+        &[
+            "workload", "lat(us)", "paper", "IPC", "paper", "MPKI", "paper",
+        ],
         &rows,
     )
 }
@@ -309,7 +355,15 @@ pub fn render_table3_accels() -> String {
         .collect();
     render_table(
         "Table 3 (accelerators): invocation latency by batch size",
-        &["engine", "IPC", "MPKI", "bsz=1(us)", "bsz=8", "bsz=32", "vs host"],
+        &[
+            "engine",
+            "IPC",
+            "MPKI",
+            "bsz=1(us)",
+            "bsz=8",
+            "bsz=32",
+            "vs host",
+        ],
         &rows,
     )
 }

@@ -51,8 +51,19 @@ pub fn render_fig13(spec: NicSpec, label: &str) -> String {
         }
     }
     render_table(
-        &format!("Fig 13 ({label}): host cores used at max throughput — {}", spec.name),
-        &["role", "size", "DPDK", "iPipe", "saved", "DPDK-Mrps", "iPipe-Mrps"],
+        &format!(
+            "Fig 13 ({label}): host cores used at max throughput — {}",
+            spec.name
+        ),
+        &[
+            "role",
+            "size",
+            "DPDK",
+            "iPipe",
+            "saved",
+            "DPDK-Mrps",
+            "iPipe-Mrps",
+        ],
         &rows,
     )
 }
@@ -66,7 +77,12 @@ pub fn render_fig1415(spec: NicSpec, label: &str) -> String {
                 let r = run_app(app, spec, mode, 512, outstanding, WARMUP, MEASURE, 11);
                 rows.push(vec![
                     app.name().to_string(),
-                    if mode == RuntimeMode::IPipe { "iPipe" } else { "DPDK" }.to_string(),
+                    if mode == RuntimeMode::IPipe {
+                        "iPipe"
+                    } else {
+                        "DPDK"
+                    }
+                    .to_string(),
                     format!("{outstanding}"),
                     format!("{:.3}", r.per_core_mops()),
                     format!("{:.1}", r.mean.as_us_f64()),
@@ -76,7 +92,10 @@ pub fn render_fig1415(spec: NicSpec, label: &str) -> String {
         }
     }
     render_table(
-        &format!("Fig 14/15 ({label}): latency vs per-core throughput, 512B — {}", spec.name),
+        &format!(
+            "Fig 14/15 ({label}): latency vs per-core throughput, 512B — {}",
+            spec.name
+        ),
         &["app", "system", "outst", "Mop/s/core", "avg(us)", "p99(us)"],
         &rows,
     )
@@ -89,23 +108,49 @@ pub fn render_fig1415(spec: NicSpec, label: &str) -> String {
 pub fn render_fig16(requests: u64) -> String {
     let loads = [0.1, 0.3, 0.5, 0.7, 0.8, 0.9];
     let cells: [(&'static NicSpec, Fig16Card, Dispersion, &str); 4] = [
-        (&CN2350, Fig16Card::LiquidIo, Dispersion::Low, "(a) low disp, CN2350"),
-        (&CN2350, Fig16Card::LiquidIo, Dispersion::High, "(b) high disp, CN2350"),
-        (&STINGRAY_PS225, Fig16Card::Stingray, Dispersion::Low, "(c) low disp, Stingray"),
-        (&STINGRAY_PS225, Fig16Card::Stingray, Dispersion::High, "(d) high disp, Stingray"),
+        (
+            &CN2350,
+            Fig16Card::LiquidIo,
+            Dispersion::Low,
+            "(a) low disp, CN2350",
+        ),
+        (
+            &CN2350,
+            Fig16Card::LiquidIo,
+            Dispersion::High,
+            "(b) high disp, CN2350",
+        ),
+        (
+            &STINGRAY_PS225,
+            Fig16Card::Stingray,
+            Dispersion::Low,
+            "(c) low disp, Stingray",
+        ),
+        (
+            &STINGRAY_PS225,
+            Fig16Card::Stingray,
+            Dispersion::High,
+            "(d) high disp, Stingray",
+        ),
     ];
     let mut points = Vec::new();
     for (spec, card, disp, label) in cells {
         let dist = fig16_distribution(card, disp);
         for &load in &loads {
-            for d in [Discipline::FcfsOnly, Discipline::DrrOnly, Discipline::Hybrid] {
+            for d in [
+                Discipline::FcfsOnly,
+                Discipline::DrrOnly,
+                Discipline::Hybrid,
+            ] {
                 points.push((spec, dist, d, load, label));
             }
         }
     }
-    let p99s = parallel_sweep(&points, default_workers(), |_, &(spec, dist, d, load, _)| {
-        run_fig16(spec, dist, d, load, 8, requests, 2).p99
-    });
+    let p99s = parallel_sweep(
+        &points,
+        default_workers(),
+        |_, &(spec, dist, d, load, _)| run_fig16(spec, dist, d, load, 8, requests, 2).p99,
+    );
     let mut rows = Vec::new();
     for (chunk, ps) in points.chunks(3).zip(p99s.chunks(3)) {
         let (_, _, _, load, label) = chunk[0];
@@ -170,12 +215,23 @@ pub fn render_fig17() -> String {
             format!("{:.1}%", (norm_leader / leader_d.max(0.001) - 1.0) * 100.0),
             format!("{follower_d:.0}"),
             format!("{norm_follower:.0}"),
-            format!("{:.1}%", (norm_follower / follower_d.max(0.001) - 1.0) * 100.0),
+            format!(
+                "{:.1}%",
+                (norm_follower / follower_d.max(0.001) - 1.0) * 100.0
+            ),
         ]);
     }
     render_table(
         "Fig 17: host CPU (%) of host-only RKV, with vs without iPipe runtime",
-        &["offered", "leader w/o", "leader w/", "ovh", "follower w/o", "follower w/", "ovh"],
+        &[
+            "offered",
+            "leader w/o",
+            "leader w/",
+            "ovh",
+            "follower w/o",
+            "follower w/",
+            "ovh",
+        ],
         &rows,
     )
 }
@@ -270,7 +326,9 @@ pub fn render_fig18() -> String {
     }
     render_table(
         "Fig 18: forced actor migration, per-phase elapsed time (ms)",
-        &["actor", "phase1", "phase2", "phase3", "phase4", "total", "state", "fwd"],
+        &[
+            "actor", "phase1", "phase2", "phase3", "phase4", "total", "state", "fwd",
+        ],
         &rows,
     )
 }
@@ -333,8 +391,17 @@ pub fn render_nf() -> String {
     let mut rows = Vec::new();
     // Firewall: 8K rules, 1KB packets, increasing load.
     for outstanding in [2u32, 16, 64, 192] {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(41).build();
-        let fw = c.register_actor(0, "firewall", Box::new(FirewallActor::new(8192, 1)), Placement::Nic);
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(41)
+            .build();
+        let fw = c.register_actor(
+            0,
+            "firewall",
+            Box::new(FirewallActor::new(8192, 1)),
+            Placement::Nic,
+        );
         let mut traffic = FirewallActor::traffic(8192, 1);
         c.set_client(
             0,
@@ -362,7 +429,11 @@ pub fn render_nf() -> String {
     }
     // IPSec: 1KB packets on the 10GbE and 25GbE LiquidIO cards.
     for (spec, label) in [(CN2350, "10GbE"), (CN2360, "25GbE")] {
-        let mut c = Cluster::builder(spec).servers(1).clients(1).seed(43).build();
+        let mut c = Cluster::builder(spec)
+            .servers(1)
+            .clients(1)
+            .seed(43)
+            .build();
         let gw = c.register_actor(0, "ipsec", Box::new(IpsecActor::new(16)), Placement::Nic);
         c.set_client(
             0,
@@ -430,7 +501,11 @@ pub fn render_ycsb() -> String {
             c.run_for(WARMUP);
             c.reset_measurements();
             c.run_for(MEASURE);
-            (c.throughput_rps() / 1e6, c.completions().p99(), c.host_cores_used(0))
+            (
+                c.throughput_rps() / 1e6,
+                c.completions().p99(),
+                c.host_cores_used(0),
+            )
         };
         let (t_d, p_d, h_d) = run(RuntimeMode::HostDpdk);
         let (t_i, p_i, h_i) = run(RuntimeMode::IPipe);
@@ -446,7 +521,15 @@ pub fn render_ycsb() -> String {
     }
     render_table(
         "Extension: RKV under YCSB mixes (Mrps / p99 us / leader host cores)",
-        &["mix", "DPDK-Mrps", "p99", "cores", "iPipe-Mrps", "p99", "cores"],
+        &[
+            "mix",
+            "DPDK-Mrps",
+            "p99",
+            "cores",
+            "iPipe-Mrps",
+            "p99",
+            "cores",
+        ],
         &rows,
     )
 }
@@ -483,8 +566,17 @@ pub fn render_ablate_offpath(requests: u64) -> String {
         let iok = ipipe::sched::SchedConfig::for_nic(&STINGRAY_PS225)
             .no_migration()
             .with_iokernel();
-        let a = ipipe_baseline::fig16::run_fig16_with(&STINGRAY_PS225, dist, shuffle, load, 8, requests, 2);
-        let b = ipipe_baseline::fig16::run_fig16_with(&STINGRAY_PS225, dist, iok, load, 8, requests, 2);
+        let a = ipipe_baseline::fig16::run_fig16_with(
+            &STINGRAY_PS225,
+            dist,
+            shuffle,
+            load,
+            8,
+            requests,
+            2,
+        );
+        let b =
+            ipipe_baseline::fig16::run_fig16_with(&STINGRAY_PS225, dist, iok, load, 8, requests, 2);
         rows.push(vec![
             format!("{load:.1}"),
             format!("{:.1}", a.mean.as_us_f64()),
@@ -495,7 +587,13 @@ pub fn render_ablate_offpath(requests: u64) -> String {
     }
     render_table(
         "Ablation: off-path dispatch (Stingray, hybrid, high dispersion)",
-        &["load", "shuffle-mean", "shuffle-p99", "iokernel-mean", "iokernel-p99"],
+        &[
+            "load",
+            "shuffle-mean",
+            "shuffle-p99",
+            "iokernel-mean",
+            "iokernel-p99",
+        ],
         &rows,
     )
 }

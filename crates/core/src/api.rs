@@ -149,7 +149,11 @@ mod tests {
     #[test]
     fn paper_style_program() {
         // The quickstart written against Table 4 names.
-        let mut cluster = Cluster::builder(CN2350).servers(1).clients(1).seed(1).build();
+        let mut cluster = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(1)
+            .build();
         let echo = actor_create(&mut cluster, 0, "echo", Box::new(Echo), Placement::Nic);
         assert!(actor_delete(&mut cluster, echo)); // known
         cluster.run_closed_loop(echo, 8, 256, SimTime::from_ms(2));

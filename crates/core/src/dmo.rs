@@ -350,7 +350,9 @@ impl ActorDmo<'_> {
 
     /// Read bytes.
     pub fn read(&mut self, obj: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, DmoError> {
-        self.table.read(self.actor, obj, offset, len).map(|s| s.to_vec())
+        self.table
+            .read(self.actor, obj, offset, len)
+            .map(|s| s.to_vec())
     }
 
     /// Read a little-endian u64.
@@ -370,7 +372,13 @@ impl ActorDmo<'_> {
     }
 
     /// `dmo_mmset`.
-    pub fn memset(&mut self, obj: ObjectId, offset: u64, value: u8, len: u64) -> Result<(), DmoError> {
+    pub fn memset(
+        &mut self,
+        obj: ObjectId,
+        offset: u64,
+        value: u8,
+        len: u64,
+    ) -> Result<(), DmoError> {
         self.table.memset(self.actor, obj, offset, value, len)
     }
 
@@ -383,7 +391,8 @@ impl ActorDmo<'_> {
         dst_off: u64,
         len: u64,
     ) -> Result<(), DmoError> {
-        self.table.memcpy(self.actor, src, src_off, dst, dst_off, len)
+        self.table
+            .memcpy(self.actor, src, src_off, dst, dst_off, len)
     }
 
     /// Object size.
@@ -447,15 +456,24 @@ mod tests {
         let o = t.malloc(1, 64).unwrap();
         assert_eq!(
             t.read(2, o, 0, 8).unwrap_err(),
-            DmoError::Protection { actor: 2, object: o }
+            DmoError::Protection {
+                actor: 2,
+                object: o
+            }
         );
         assert_eq!(
             t.write(2, o, 0, b"x").unwrap_err(),
-            DmoError::Protection { actor: 2, object: o }
+            DmoError::Protection {
+                actor: 2,
+                object: o
+            }
         );
         assert_eq!(
             t.free(2, o).unwrap_err(),
-            DmoError::Protection { actor: 2, object: o }
+            DmoError::Protection {
+                actor: 2,
+                object: o
+            }
         );
     }
 

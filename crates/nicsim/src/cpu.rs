@@ -185,7 +185,10 @@ mod tests {
         // Implication I3: compute-bound work gains much more from the beefy
         // host core than memory-bound work.
         assert!(comp_speedup > 3.0, "compute speedup {comp_speedup}");
-        assert!(mem_speedup < comp_speedup, "mem {mem_speedup} vs comp {comp_speedup}");
+        assert!(
+            mem_speedup < comp_speedup,
+            "mem {mem_speedup} vs comp {comp_speedup}"
+        );
         assert!(mem_speedup > 1.0);
     }
 
@@ -200,7 +203,10 @@ mod tests {
         assert_eq!(r.latency, SimTime::from_us(6));
         assert!((r.ipc - 2.0).abs() < 1e-9);
         p.accel_wait = SimTime::ZERO;
-        assert_eq!(p.evaluate(&CoreModel::for_nic(&CN2350)).latency, SimTime::from_us(1));
+        assert_eq!(
+            p.evaluate(&CoreModel::for_nic(&CN2350)).latency,
+            SimTime::from_us(1)
+        );
     }
 
     #[test]

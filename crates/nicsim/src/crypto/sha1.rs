@@ -90,9 +90,14 @@ mod tests {
     /// FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn fips_vectors() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
         assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
@@ -123,7 +128,10 @@ mod tests {
     #[test]
     fn hmac_long_key_is_hashed() {
         let long_key = vec![0xaa; 80];
-        let d = hmac_sha1(&long_key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let d = hmac_sha1(
+            &long_key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(hex(&d), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
     }
 

@@ -181,7 +181,11 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
-        self.place(Entry { at: at.as_ns(), seq, event });
+        self.place(Entry {
+            at: at.as_ns(),
+            seq,
+            event,
+        });
     }
 
     /// Schedule `event` after a delay relative to `now`.
@@ -378,7 +382,11 @@ impl<E> EventQueue<E> {
             self.spill.push(SpillEntry(entry));
             return;
         }
-        let level = if bitlen <= SLOT_BITS { 0 } else { ((bitlen - 1) / SLOT_BITS) as usize };
+        let level = if bitlen <= SLOT_BITS {
+            0
+        } else {
+            ((bitlen - 1) / SLOT_BITS) as usize
+        };
         let slot = ((entry.at >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize;
         let idx = level * SLOTS + slot;
         self.occupied[level] |= 1 << slot;
@@ -522,7 +530,11 @@ impl<E> HeapEventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(SpillEntry(Entry { at: at.as_ns(), seq, event }));
+        self.heap.push(SpillEntry(Entry {
+            at: at.as_ns(),
+            seq,
+            event,
+        }));
     }
 
     /// Schedule `event` after a delay relative to `now`.
@@ -667,7 +679,11 @@ mod tests {
         q.pop();
         assert_eq!(q.now(), SimTime::from_us(10));
         q.advance_to(SimTime::from_us(3));
-        assert_eq!(q.now(), SimTime::from_us(10), "advance_to must never rewind");
+        assert_eq!(
+            q.now(),
+            SimTime::from_us(10),
+            "advance_to must never rewind"
+        );
         q.advance_to(SimTime::from_us(12));
         assert_eq!(q.now(), SimTime::from_us(12));
     }
@@ -811,10 +827,7 @@ mod tests {
         let pending = q.drain_pending();
         assert_eq!(
             pending,
-            vec![
-                (SimTime::from_us(5), "b"),
-                (SimTime::from_ns(1 << 50), "z"),
-            ]
+            vec![(SimTime::from_us(5), "b"), (SimTime::from_ns(1 << 50), "z"),]
         );
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_us(1), "drain must not advance time");

@@ -82,7 +82,9 @@ impl DetRng {
     pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
         let d = Zipf::new(n as f64, s).expect("valid zipf parameters");
         // rand_distr's Zipf yields values in [1, n].
-        (d.sample(&mut self.inner) as u64).saturating_sub(1).min(n - 1)
+        (d.sample(&mut self.inner) as u64)
+            .saturating_sub(1)
+            .min(n - 1)
     }
 
     /// Access to the underlying `rand` RNG for use with `rand_distr`.
@@ -209,7 +211,10 @@ mod tests {
         let total: u64 = (0..n).map(|_| rng.exp(mean).as_ns()).sum();
         let avg = total as f64 / n as f64;
         let expect = mean.as_ns() as f64;
-        assert!((avg - expect).abs() / expect < 0.05, "avg={avg} expect={expect}");
+        assert!(
+            (avg - expect).abs() / expect < 0.05,
+            "avg={avg} expect={expect}"
+        );
     }
 
     #[test]

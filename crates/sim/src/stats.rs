@@ -347,7 +347,19 @@ mod tests {
     #[test]
     fn histogram_buckets_are_monotonic() {
         let mut last = 0;
-        for ns in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX / 2] {
+        for ns in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            1 << 20,
+            u64::MAX / 2,
+        ] {
             let b = Histogram::bucket_of(ns);
             assert!(b >= last, "bucket_of({ns})={b} < {last}");
             last = b;

@@ -87,13 +87,7 @@ pub struct TraceRequest {
 
 impl ServiceTrace {
     /// Build a trace at `load` (fraction of the capacity of `cores` cores).
-    pub fn new(
-        dist: ServiceDist,
-        cores: u32,
-        load: f64,
-        actors: u32,
-        seed: u64,
-    ) -> ServiceTrace {
+    pub fn new(dist: ServiceDist, cores: u32, load: f64, actors: u32, seed: u64) -> ServiceTrace {
         assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
         assert!(actors > 0);
         let capacity = cores as f64 / dist.mean().as_secs_f64();
@@ -210,7 +204,10 @@ mod tests {
             400_000,
             1,
         );
-        assert!(high > 1.0, "the high-dispersion trace must out-disperse the exponential: scv={high}");
+        assert!(
+            high > 1.0,
+            "the high-dispersion trace must out-disperse the exponential: scv={high}"
+        );
     }
 
     #[test]

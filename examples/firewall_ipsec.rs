@@ -15,8 +15,17 @@ use ipipe_repro::nicsim::CN2350;
 fn main() {
     // --- firewall under increasing load ---
     for outstanding in [4u32, 64, 192] {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(6).build();
-        let fw = c.register_actor(0, "firewall", Box::new(FirewallActor::new(8192, 1)), Placement::Nic);
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(6)
+            .build();
+        let fw = c.register_actor(
+            0,
+            "firewall",
+            Box::new(FirewallActor::new(8192, 1)),
+            Placement::Nic,
+        );
         let mut traffic = FirewallActor::traffic(8192, 1);
         c.set_client(
             0,
@@ -40,7 +49,11 @@ fn main() {
     }
 
     // --- IPSec gateway throughput ---
-    let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(7).build();
+    let mut c = Cluster::builder(CN2350)
+        .servers(1)
+        .clients(1)
+        .seed(7)
+        .build();
     let gw = c.register_actor(0, "ipsec", Box::new(IpsecActor::new(16)), Placement::Nic);
     c.set_client(
         0,

@@ -40,7 +40,11 @@ fn drive(mode: RuntimeMode, label: &str) {
 
     println!("--- {label} ---");
     println!("throughput      : {:.0} req/s", c.throughput_rps());
-    println!("mean / p99      : {} / {}", c.completions().mean(), c.completions().p99());
+    println!(
+        "mean / p99      : {} / {}",
+        c.completions().mean(),
+        c.completions().p99()
+    );
     for n in 0..3 {
         println!(
             "node {n}: host cores {:.2}, NIC cores {:.2}",

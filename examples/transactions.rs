@@ -13,7 +13,11 @@ use ipipe_repro::nicsim::CN2350;
 use ipipe_repro::workload::txn::TxnWorkload;
 
 fn main() {
-    let mut c = Cluster::builder(CN2350).servers(3).clients(1).seed(5).build();
+    let mut c = Cluster::builder(CN2350)
+        .servers(3)
+        .clients(1)
+        .seed(5)
+        .build();
     // Small log limit so checkpoints to the host logger are visible.
     let dep = deploy_dt(&mut c, 0, &[1, 2], 64 * 1024);
     let coord = dep.coordinator;
@@ -57,5 +61,8 @@ fn main() {
         c.nic_cores_used(1),
         c.nic_cores_used(2)
     );
-    println!("PCIe ring messages on coordinator node: {}", c.ring_messages(0));
+    println!(
+        "PCIe ring messages on coordinator node: {}",
+        c.ring_messages(0)
+    );
 }

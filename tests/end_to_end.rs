@@ -40,7 +40,11 @@ fn rkv_cluster(mode: RuntimeMode, seed: u64) -> Cluster {
 
 #[test]
 fn rkv_end_to_end_all_modes() {
-    for mode in [RuntimeMode::IPipe, RuntimeMode::HostDpdk, RuntimeMode::HostIPipe] {
+    for mode in [
+        RuntimeMode::IPipe,
+        RuntimeMode::HostDpdk,
+        RuntimeMode::HostIPipe,
+    ] {
         let mut c = rkv_cluster(mode, 1);
         c.run_for(SimTime::from_ms(10));
         let done = c.completions().count();
@@ -142,7 +146,10 @@ fn rta_pipeline_with_forced_ranker_migration() {
         .find(|r| r.actor == ranker.actor)
         .expect("report recorded");
     assert!(r.total() > SimTime::from_us(500));
-    assert!(r.phase_times[2] > SimTime::ZERO, "state must move in phase 3");
+    assert!(
+        r.phase_times[2] > SimTime::ZERO,
+        "state must move in phase 3"
+    );
 }
 
 #[test]
@@ -158,8 +165,17 @@ fn push_then_pull_migration_round_trip() {
         }
     }
     let cost = std::rc::Rc::new(std::cell::Cell::new(120_000u64)); // 120us: overloads the NIC
-    let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(77).build();
-    let a = c.register_actor(0, "heavy", Box::new(Heavy { cost: cost.clone() }), Placement::Nic);
+    let mut c = Cluster::builder(CN2350)
+        .servers(1)
+        .clients(1)
+        .seed(77)
+        .build();
+    let a = c.register_actor(
+        0,
+        "heavy",
+        Box::new(Heavy { cost: cost.clone() }),
+        Placement::Nic,
+    );
     c.set_client(
         0,
         Box::new(move |rng, _| ClientReq {

@@ -1,16 +1,16 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants, spanning crates.
 
-use ipipe_repro::ipipe::actor::Request;
-use ipipe_repro::ipipe::dmo::{DmoTable, Side};
-use ipipe_repro::ipipe::sched::{Discipline, Loc, NicScheduler, SchedConfig, Work};
-use ipipe_repro::nicsim::CN2350;
-use ipipe_repro::ipipe::ring::{RingBuffer, RingError};
-use ipipe_repro::ipipe::skiplist::{DmoSkipList, KEY_LEN};
 use ipipe_repro::apps::micro::{KvCache, LpmRouter, PFabricScheduler};
 use ipipe_repro::apps::rkv::lsm::{Levels, SsTable};
 use ipipe_repro::apps::rta::regex::Regex;
+use ipipe_repro::ipipe::actor::Request;
+use ipipe_repro::ipipe::dmo::{DmoTable, Side};
+use ipipe_repro::ipipe::ring::{RingBuffer, RingError};
+use ipipe_repro::ipipe::sched::{Discipline, Loc, NicScheduler, SchedConfig, Work};
+use ipipe_repro::ipipe::skiplist::{DmoSkipList, KEY_LEN};
 use ipipe_repro::nicsim::crypto::{crc32, md5, sha1};
+use ipipe_repro::nicsim::CN2350;
 use ipipe_repro::sim::{DetRng, EventQueue, HeapEventQueue, Histogram, SimTime};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap, VecDeque};

@@ -19,17 +19,23 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer. Does not allocate a payload.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Wrap a static slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            data: Arc::from(bytes),
+        }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Number of bytes in the buffer.

@@ -47,20 +47,29 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let name = name.into();
-        let mut b = Bencher { total_ns: 0, iters: 0 };
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
         f(&mut b);
         let label = match &self.group {
             Some(g) => format!("{g}/{name}"),
             None => name,
         };
         let per_iter = b.total_ns.checked_div(b.iters as u128).unwrap_or(0);
-        println!("bench {label:<48} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        println!(
+            "bench {label:<48} {per_iter:>12} ns/iter ({} iters)",
+            b.iters
+        );
         self
     }
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.to_string() }
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
     }
 }
 

@@ -14,17 +14,25 @@ pub mod queue {
     impl<T> SegQueue<T> {
         /// Create an empty queue.
         pub fn new() -> Self {
-            SegQueue { inner: Mutex::new(VecDeque::new()) }
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
         }
 
         /// Append an element at the tail.
         pub fn push(&self, value: T) {
-            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
         }
 
         /// Remove the head element, if any.
         pub fn pop(&self) -> Option<T> {
-            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
         }
 
         /// Number of queued elements.

@@ -14,7 +14,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex and return its value.
@@ -27,16 +29,18 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available. Poison from a
     /// panicked holder is absorbed rather than propagated.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()) }
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: e.into_inner() })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }

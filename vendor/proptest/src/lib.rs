@@ -29,8 +29,7 @@ pub mod prop {
 pub mod prelude {
     pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
-        TestCaseError,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
     };
 }
 

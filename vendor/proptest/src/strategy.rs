@@ -267,13 +267,19 @@ impl From<usize> for SizeRange {
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
     }
 }
 
@@ -288,7 +294,10 @@ pub mod collection {
 
     /// `prop::collection::vec(element, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -318,7 +327,11 @@ pub mod collection {
     where
         K::Value: Ord,
     {
-        BTreeMapStrategy { key, value, size: size.into() }
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>

@@ -77,7 +77,13 @@ impl Zipf {
         let h_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_n = Self::h_integral(n + 0.5, s);
         let cut = 2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
-        Ok(Zipf { n, s, h_x1, h_n, cut })
+        Ok(Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            cut,
+        })
     }
 
     /// `H(x) = ∫ t^-s dt`: `(x^(1-s) - 1) / (1-s)`, or `ln x` at `s = 1`.
@@ -113,9 +119,7 @@ impl Distribution<f64> for Zipf {
             let m = self.h_n + u * (self.h_x1 - self.h_n);
             let x = Self::h_integral_inv(m, self.s);
             let k = x.round().clamp(1.0, self.n);
-            if k - x <= self.cut
-                || m >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
-            {
+            if k - x <= self.cut || m >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s) {
                 return k;
             }
         }
@@ -155,7 +159,12 @@ mod tests {
             assert!((1.0..=1000.0).contains(&k));
             counts[k as usize] += 1;
         }
-        assert!(counts[1] > counts[501].max(1) * 10, "not skewed: {} vs {}", counts[1], counts[501]);
+        assert!(
+            counts[1] > counts[501].max(1) * 10,
+            "not skewed: {} vs {}",
+            counts[1],
+            counts[501]
+        );
     }
 
     #[test]
