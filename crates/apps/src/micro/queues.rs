@@ -397,7 +397,10 @@ impl MicroWorkload for ChainReplication {
         let slot = (seq % self.cap as u64) * 128;
         mem.write(self.base + slot, 96);
         // Touch the tail pointer record and the per-replica ack line.
-        mem.read(self.base + ((seq.saturating_sub(1)) % self.cap as u64) * 128, 16);
+        mem.read(
+            self.base + ((seq.saturating_sub(1)) % self.cap as u64) * 128,
+            16,
+        );
         mem.write(self.base + (self.chain_len as u64 * 64), 32);
         mem.work(2700); // header rewrite per downstream replica + ack
     }
@@ -420,7 +423,7 @@ mod tests {
             rl.drain_tick();
         }
         // 100 ticks x 100 B/tick = 10k bytes = 50 packets (+ depth credit).
-        assert!(passed >= 50 && passed <= 55, "passed={passed}");
+        assert!((50..=55).contains(&passed), "passed={passed}");
         assert!(rl.dropped > 0);
     }
 

@@ -26,7 +26,10 @@ pub struct SsTable {
 impl SsTable {
     /// Build from entries that must be key-sorted and deduplicated.
     pub fn from_sorted(entries: Vec<(Key, Option<Vec<u8>>)>) -> SsTable {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted SSTable");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "unsorted SSTable"
+        );
         let bytes = entries
             .iter()
             .map(|(_, v)| KEY_LEN as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(1))
@@ -87,7 +90,12 @@ impl SsTable {
 
     /// Key-range overlap test, used to pick merge inputs.
     pub fn overlaps(&self, other: &SsTable) -> bool {
-        match (self.min_key(), self.max_key(), other.min_key(), other.max_key()) {
+        match (
+            self.min_key(),
+            self.max_key(),
+            other.min_key(),
+            other.max_key(),
+        ) {
             (Some(a0), Some(a1), Some(b0), Some(b1)) => a0 <= b1 && b0 <= a1,
             _ => false,
         }
@@ -298,7 +306,7 @@ mod tests {
         let c = table(&[(10, Some("v")), (20, Some("u"))]);
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
-        assert!(b.overlaps(&c) == false);
+        assert!(!b.overlaps(&c));
     }
 
     #[test]
@@ -307,7 +315,11 @@ mod tests {
         let oldest = table(&[(1, Some("old")), (2, Some("stale")), (3, Some("keep"))]);
         let m = SsTable::merge(&[&newest, &oldest], false);
         assert_eq!(m.get(&key(1)), Some(Some(b"new".as_ref())));
-        assert_eq!(m.get(&key(2)), Some(None), "tombstone survives mid-tree merges");
+        assert_eq!(
+            m.get(&key(2)),
+            Some(None),
+            "tombstone survives mid-tree merges"
+        );
         assert_eq!(m.get(&key(3)), Some(Some(b"keep".as_ref())));
         // At the bottom level tombstones are dropped.
         let m = SsTable::merge(&[&newest, &oldest], true);
@@ -318,7 +330,10 @@ mod tests {
     #[test]
     fn levels_flush_and_lookup() {
         let mut l = Levels::new(200, 10);
-        l.flush_memtable(vec![(key(1), Some(b"v1".to_vec())), (key(2), Some(b"v2".to_vec()))]);
+        l.flush_memtable(vec![
+            (key(1), Some(b"v1".to_vec())),
+            (key(2), Some(b"v2".to_vec())),
+        ]);
         assert_eq!(l.get(&key(1)), Some(b"v1".to_vec()));
         assert_eq!(l.get(&key(3)), None);
         // A newer flush shadows the old value (L0 searched newest-first).

@@ -157,8 +157,7 @@ impl Ranker {
         // Periodically shrink to bounded state: keep 4n entries.
         if self.entries.len() > self.n * 4 {
             let top = self.top();
-            let keep: std::collections::HashSet<u32> =
-                top.iter().map(|(t, _)| *t).collect();
+            let keep: std::collections::HashSet<u32> = top.iter().map(|(t, _)| *t).collect();
             let mut trimmed: HashMap<u32, u64> = self
                 .entries
                 .drain()
@@ -255,7 +254,7 @@ mod tests {
                 .collect();
             let mut b = a.clone();
             quicksort_desc(&mut a);
-            b.sort_by(|x, y| y.1.cmp(&x.1));
+            b.sort_by_key(|x| std::cmp::Reverse(x.1));
             let ac: Vec<u64> = a.iter().map(|(_, c)| *c).collect();
             let bc: Vec<u64> = b.iter().map(|(_, c)| *c).collect();
             assert_eq!(ac, bc);

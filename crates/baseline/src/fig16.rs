@@ -11,7 +11,8 @@
 use ipipe::actor::Request;
 use ipipe::sched::{Discipline, Loc, NicScheduler, SchedConfig, Work};
 use ipipe_nicsim::spec::NicSpec;
-use ipipe_sim::{EventQueue, Histogram, SimTime};
+use ipipe_sim::obs::{HistHandle, Obs};
+use ipipe_sim::{EventQueue, SimTime};
 use ipipe_workload::service::ServiceTrace;
 use std::collections::HashMap;
 
@@ -38,7 +39,8 @@ struct St {
     trace: ServiceTrace,
     services: HashMap<u64, SimTime>,
     inflight: HashMap<u32, (u32, SimTime, SimTime)>, // core -> (actor, arrived, busy)
-    hist: Histogram,
+    hist: HistHandle,
+    obs: Obs,
     remaining: u64,
     warmup: u64,
     next_token: u64,
@@ -77,16 +79,46 @@ pub fn run_fig16_with(
     requests: u64,
     seed: u64,
 ) -> Fig16Point {
-    let mut sched = NicScheduler::new(spec, cfg);
+    run_fig16_obs(
+        spec,
+        dist,
+        cfg,
+        load,
+        actors,
+        requests,
+        seed,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_fig16_with`] sharing an observability handle: the sojourn
+/// histogram lives in the registry (`fig16.sojourn` — the returned
+/// [`Fig16Point`] is rendered from it), scheduler metrics land under the
+/// same registry, and per-execution spans go to the trace ring.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fig16_obs(
+    spec: &'static NicSpec,
+    dist: ipipe_sim::rng::ServiceDist,
+    cfg: SchedConfig,
+    load: f64,
+    actors: u32,
+    requests: u64,
+    seed: u64,
+    obs: &Obs,
+) -> Fig16Point {
+    let mut sched = NicScheduler::with_obs(spec, cfg, obs, 0);
     for a in 0..actors {
         sched.register(a, 512, Loc::Nic);
     }
+    let hist = obs.registry().hist("fig16.sojourn");
+    hist.reset(); // a fresh run owns the slot even on a reused registry
     let mut st = St {
         sched,
         trace: ServiceTrace::new_correlated(dist, spec.cores, load, actors, seed),
         services: HashMap::new(),
         inflight: HashMap::new(),
-        hist: Histogram::new(),
+        hist,
+        obs: obs.clone(),
         remaining: requests,
         warmup: requests / 4,
         next_token: 0,
@@ -139,6 +171,15 @@ pub fn run_fig16_with(
             Ev::Done { core } => {
                 let (actor, arrived, busy) = st.inflight.remove(&core).expect("busy");
                 let sojourn = now.saturating_sub(arrived);
+                st.obs.span(
+                    "sched",
+                    "exec",
+                    0,
+                    core,
+                    now.saturating_sub(busy),
+                    now,
+                    Some(("actor", actor as i64)),
+                );
                 st.sched.on_complete(now, core, actor, sojourn, busy);
                 let _ = st.sched.take_actions();
                 st.done += 1;
@@ -169,7 +210,11 @@ mod tests {
     #[test]
     fn latency_grows_with_load_for_all_disciplines() {
         let dist = fig16_distribution(Fig16Card::LiquidIo, Dispersion::Low);
-        for d in [Discipline::FcfsOnly, Discipline::DrrOnly, Discipline::Hybrid] {
+        for d in [
+            Discipline::FcfsOnly,
+            Discipline::DrrOnly,
+            Discipline::Hybrid,
+        ] {
             let lo = run_fig16(&CN2350, dist, d, 0.3, 8, N, 1);
             let hi = run_fig16(&CN2350, dist, d, 0.9, 8, N, 1);
             assert!(hi.p99 > lo.p99, "{d:?}: {0} !> {1}", hi.p99, lo.p99);

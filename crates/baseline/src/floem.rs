@@ -153,7 +153,11 @@ mod tests {
         packet: u32,
         dur_ms: u64,
     ) -> (u64, f64, f64) {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(77).build();
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(77)
+            .build();
         let dep = deploy(&mut c, &[0]);
         let dst = dep.filters[0];
         let mut wl = RtaWorkload::paper_default(11);
@@ -172,8 +176,7 @@ mod tests {
         c.run_for(SimTime::from_ms(dur_ms));
         let done = c.completions().count();
         let host_cores = c.host_cores_used(0);
-        let gbps =
-            done as f64 * packet as f64 * 8.0 / c.measured_wall().as_secs_f64() / 1e9;
+        let gbps = done as f64 * packet as f64 * 8.0 / c.measured_wall().as_secs_f64() / 1e9;
         (done, host_cores, gbps)
     }
 
@@ -182,8 +185,7 @@ mod tests {
     #[test]
     fn ipipe_beats_floem_on_per_core_throughput() {
         let (done_f, cores_f, gbps_f) = drive(deploy_floem_rta, 512, 8);
-        let (done_i, cores_i, gbps_i) =
-            drive(|c, n| ipipe_apps::rta::actors::deploy_rta(c, n), 512, 8);
+        let (done_i, cores_i, gbps_i) = drive(ipipe_apps::rta::actors::deploy_rta, 512, 8);
         assert!(done_f > 500 && done_i > 500);
         let per_core_f = gbps_f / cores_f.max(0.05);
         let per_core_i = gbps_i / cores_i.max(0.05);

@@ -27,13 +27,14 @@ fn bench_skiplist(c: &mut Criterion) {
                 let mut rng = DetRng::new(1);
                 let mut dmo = t.scoped(1);
                 let sl = DmoSkipList::create(&mut dmo).unwrap();
-                drop(dmo);
+                let _ = dmo;
                 (t, sl, rng.fork())
             },
             |(mut t, mut sl, mut rng)| {
                 let mut dmo = t.scoped(1);
                 for i in 0..512u64 {
-                    sl.insert(&mut dmo, &mut rng, &key16(i), b"value-bytes").unwrap();
+                    sl.insert(&mut dmo, &mut rng, &key16(i), b"value-bytes")
+                        .unwrap();
                 }
                 for i in 0..512u64 {
                     let _ = sl.get(&mut dmo, &key16(i)).unwrap();

@@ -1,0 +1,197 @@
+//! Run a traced scenario and summarize its observability output.
+//!
+//! ```text
+//! cargo run --release --bin traceview -- [--scenario rkv|fig16] \
+//!     [--seed N] [--verbose] [--out DIR]
+//! ```
+//!
+//! With `--out DIR` the run's metrics (`metrics.jsonl`) and Chrome trace
+//! (`chrome.json`, openable in Perfetto / `chrome://tracing`) are written
+//! there. Both files are byte-identical across same-seed runs — the CI
+//! determinism job runs this binary twice and diffs the directories.
+
+use ipipe::rt::{ClientReq, Cluster, RuntimeMode};
+use ipipe::sched::Discipline;
+use ipipe_apps::rkv::actors::{deploy_rkv, RkvMsg};
+use ipipe_baseline::fig16::run_fig16_obs;
+use ipipe_bench::render_table;
+use ipipe_nicsim::CN2350;
+use ipipe_sim::obs::{Obs, TraceKind, TraceLevel};
+use ipipe_sim::SimTime;
+use ipipe_workload::kv::KvWorkload;
+use ipipe_workload::service::{fig16_distribution, Dispersion, Fig16Card};
+use std::collections::BTreeMap;
+
+struct Opts {
+    scenario: String,
+    seed: u64,
+    verbose: bool,
+    out: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        scenario: "rkv".into(),
+        seed: 2,
+        verbose: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenario" => opts.scenario = args.next().expect("--scenario needs a value"),
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer")
+            }
+            "--verbose" => opts.verbose = true,
+            "--out" => opts.out = Some(args.next().expect("--out needs a directory")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: traceview [--scenario rkv|fig16] [--seed N] [--verbose] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    opts
+}
+
+/// The replicated-KV cluster of `examples/replicated_kv.rs`, traced.
+fn run_rkv(seed: u64, obs: &Obs) {
+    let mut c = Cluster::builder(CN2350)
+        .servers(3)
+        .clients(1)
+        .mode(RuntimeMode::IPipe)
+        .seed(seed)
+        .obs(obs.clone())
+        .build();
+    let dep = deploy_rkv(&mut c, &[0, 1, 2], 8 << 20);
+    let leader = dep.consensus[0];
+    let mut wl = KvWorkload::paper_default(512, 1);
+    c.set_client(
+        0,
+        Box::new(move |rng, _| {
+            let op = wl.next_op();
+            ClientReq {
+                dst: leader,
+                wire_size: 512u32.min(43 + op.wire_size()).max(64),
+                flow: rng.below(1 << 20),
+                payload: Some(Box::new(RkvMsg::Client(op))),
+            }
+        }),
+        64,
+    );
+    c.run_for(SimTime::from_ms(2));
+    // Exercise the migration machinery so its spans show up in the trace.
+    c.force_migrate(dep.memtable[0]);
+    c.run_for(SimTime::from_ms(4));
+}
+
+/// One Fig 16 hybrid cell at load 0.6 (the determinism-test scenario).
+fn run_fig16_cell(seed: u64, obs: &Obs) {
+    let dist = fig16_distribution(Fig16Card::LiquidIo, Dispersion::High);
+    let cfg = ipipe::sched::SchedConfig::for_nic(&CN2350)
+        .with_discipline(Discipline::Hybrid)
+        .no_migration();
+    run_fig16_obs(&CN2350, dist, cfg, 0.6, 8, 4000, seed, obs);
+}
+
+fn main() {
+    let opts = parse_opts();
+    let level = if opts.verbose {
+        TraceLevel::Verbose
+    } else {
+        TraceLevel::Spans
+    };
+    let obs = Obs::with_level(level);
+    match opts.scenario.as_str() {
+        "rkv" => run_rkv(opts.seed, &obs),
+        "fig16" => run_fig16_cell(opts.seed, &obs),
+        other => panic!("unknown scenario {other:?} (want rkv or fig16)"),
+    }
+
+    // --- metric summary -------------------------------------------------
+    let snap = obs.snapshot();
+    let rows: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .map(|((name, node), v)| vec![name.clone(), node.to_string(), v.to_string()])
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("counters — {} seed {}", opts.scenario, opts.seed),
+            &["name", "node", "value"],
+            &rows,
+        )
+    );
+    let rows: Vec<Vec<String>> = snap
+        .hists
+        .iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|((name, node), h)| {
+            vec![
+                name.clone(),
+                node.to_string(),
+                h.count().to_string(),
+                format!("{:.1}", h.mean().as_us_f64()),
+                format!("{:.1}", h.p99().as_us_f64()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "histograms",
+            &["name", "node", "count", "mean(us)", "p99(us)"],
+            &rows
+        )
+    );
+
+    // --- trace summary --------------------------------------------------
+    let events = obs.trace_events();
+    let mut by_name: BTreeMap<(&str, &str), (u64, SimTime)> = BTreeMap::new();
+    for ev in &events {
+        let slot = by_name.entry((ev.cat, ev.name)).or_default();
+        slot.0 += 1;
+        if let TraceKind::Span { dur } = ev.kind {
+            slot.1 += dur;
+        }
+    }
+    let rows: Vec<Vec<String>> = by_name
+        .iter()
+        .map(|((cat, name), (n, total))| {
+            vec![
+                format!("{cat}/{name}"),
+                n.to_string(),
+                format!("{:.1}", total.as_us_f64()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "trace — {} recorded, {} dropped",
+                events.len(),
+                obs.trace_dropped()
+            ),
+            &["cat/name", "events", "span-total(us)"],
+            &rows,
+        )
+    );
+
+    // --- exports --------------------------------------------------------
+    if let Some(dir) = opts.out {
+        std::fs::create_dir_all(&dir).expect("create --out dir");
+        let metrics = format!("{dir}/metrics.jsonl");
+        let chrome = format!("{dir}/chrome.json");
+        std::fs::write(&metrics, obs.export_jsonl()).expect("write metrics");
+        std::fs::write(&chrome, obs.export_chrome()).expect("write chrome trace");
+        println!("wrote {metrics} and {chrome} (open the latter in Perfetto)");
+    }
+}

@@ -10,9 +10,13 @@ use ipipe_nicsim::{CN2350, STINGRAY_PS225};
 use ipipe_sim::sweep::parallel_sweep;
 use ipipe_workload::service::{fig16_distribution, Dispersion, Fig16Card};
 
-/// (discipline, cn2350-high (mean, p99), stingray-low (mean, p99)) at seed 2,
-/// 8 actors, 4000 requests; every cell completes 3000 requests.
-const EXPECTED: [(Discipline, (u64, u64), (u64, u64)); 3] = [
+/// One pinned row: (discipline, cn2350-high (mean, p99), stingray-low
+/// (mean, p99)).
+type ExpectedRow = (Discipline, (u64, u64), (u64, u64));
+
+/// Pinned counters at seed 2, 8 actors, 4000 requests; every cell completes
+/// 3000 requests.
+const EXPECTED: [ExpectedRow; 3] = [
     (Discipline::FcfsOnly, (39_567, 54_271), (32_246, 135_167)),
     (Discipline::DrrOnly, (39_567, 56_319), (32_001, 139_263)),
     (Discipline::Hybrid, (44_686, 52_223), (32_246, 135_167)),

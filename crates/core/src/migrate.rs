@@ -16,6 +16,7 @@
 
 use crate::actor::{ActorId, Request};
 use crate::dmo::migration_transfer_time;
+use ipipe_sim::obs::{Obs, Registry};
 use ipipe_sim::SimTime;
 
 /// Direction of a migration.
@@ -151,6 +152,65 @@ impl MigrationReport {
             return 0.0;
         }
         self.phase_times[phase as usize - 1].as_ns() as f64 / total as f64
+    }
+
+    /// Per-phase metric names, 1-indexed like the phases.
+    pub const PHASE_METRICS: [&'static str; 4] = [
+        "migrate.phase1.prepare",
+        "migrate.phase2.ready",
+        "migrate.phase3.move",
+        "migrate.phase4.forward",
+    ];
+
+    /// Publish this migration into the metrics registry under `node`.
+    pub fn record_to(&self, reg: &Registry, node: u16) {
+        reg.counter_on("migrate.completed", node).inc();
+        let dir = match self.dir {
+            MigrationDir::Push => "migrate.completed.push",
+            MigrationDir::Pull => "migrate.completed.pull",
+        };
+        reg.counter_on(dir, node).inc();
+        reg.counter_on("migrate.state_bytes", node)
+            .add(self.state_bytes);
+        reg.counter_on("migrate.requests_forwarded", node)
+            .add(self.requests_forwarded);
+        reg.hist_on("migrate.total", node).record(self.total());
+        for (i, name) in Self::PHASE_METRICS.iter().enumerate() {
+            reg.hist_on(name, node).record(self.phase_times[i]);
+        }
+    }
+
+    /// Emit the migration's timeline into the trace ring: one enclosing
+    /// span plus one span per phase, all on a dedicated migration lane.
+    pub fn trace_to(&self, obs: &Obs, node: u16, lane: u32, started: SimTime) {
+        let end = started + self.total();
+        obs.span(
+            "migration",
+            match self.dir {
+                MigrationDir::Push => "migrate.push",
+                MigrationDir::Pull => "migrate.pull",
+            },
+            node,
+            lane,
+            started,
+            end,
+            Some(("actor", self.actor as i64)),
+        );
+        let names = ["phase1", "phase2", "phase3", "phase4"];
+        let mut t = started;
+        for (i, name) in names.iter().enumerate() {
+            let next = t + self.phase_times[i];
+            obs.span(
+                "migration",
+                name,
+                node,
+                lane,
+                t,
+                next,
+                Some(("actor", self.actor as i64)),
+            );
+            t = next;
+        }
     }
 }
 

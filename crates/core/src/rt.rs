@@ -20,12 +20,19 @@ use crate::dmo::{DmoTable, Side};
 use crate::isolate::Watchdog;
 use crate::migrate::{Migration, MigrationDir, MigrationReport};
 use crate::sched::{Action, Loc, NicScheduler, SchedConfig, Work};
+use ipipe_netsim::{NetModel, NodeId, Packet, PacketKind};
 use ipipe_nicsim::dma::{DmaEngine, DmaOp};
 use ipipe_nicsim::host::HostCpuAccounting;
 use ipipe_nicsim::spec::{HostSpec, NicSpec, HOST_XEON};
-use ipipe_netsim::{NetModel, Packet, PacketKind, NodeId};
+use ipipe_sim::obs::{Counter, Gauge, HistHandle, Obs, TraceLevel};
 use ipipe_sim::{DetRng, EventQueue, Histogram, SimTime};
 use std::collections::HashMap;
+
+/// Chrome-trace lane (`tid`) offset for host cores, so NIC cores and host
+/// cores render as separate row groups under one node (`pid`).
+const HOST_LANE_OFFSET: u32 = 1000;
+/// Trace lane for the migration timeline.
+const MIGRATION_LANE: u32 = 999;
 
 /// Initial placement of an actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,12 +71,14 @@ pub struct ClientReq {
 /// Closed-loop client request generator.
 pub type ClientGenFn = Box<dyn FnMut(&mut DetRng, u64) -> ClientReq>;
 
-/// Completion statistics observed at the clients.
+/// Completion statistics observed at the clients. The latency histogram
+/// lives in the cluster's metrics registry (as `client.latency`), so
+/// figure harnesses and trace exports read the same numbers.
 #[derive(Debug, Default)]
 pub struct CompletionStats {
     issued: u64,
     done: u64,
-    hist: Histogram,
+    hist: HistHandle,
 }
 
 impl CompletionStats {
@@ -98,9 +107,9 @@ impl CompletionStats {
         self.hist.p99()
     }
 
-    /// Full latency histogram.
-    pub fn histogram(&self) -> &Histogram {
-        &self.hist
+    /// Full latency histogram (owned copy of the registry slot).
+    pub fn histogram(&self) -> Histogram {
+        self.hist.to_histogram()
     }
 
     fn reset(&mut self) {
@@ -129,10 +138,42 @@ struct InFlight {
     forward_only: bool,
 }
 
+/// Per-node runtime metric handles (ring/DMA crossings, executions,
+/// watchdog), resolved once from the cluster registry at build time.
+struct RtMetrics {
+    ring_to_host: Counter,
+    ring_to_host_bytes: Counter,
+    ring_to_nic: Counter,
+    ring_xfer: HistHandle,
+    ring_depth: Gauge,
+    nic_exec: Counter,
+    nic_forward: Counter,
+    host_exec: Counter,
+    watchdog_kills: Counter,
+}
+
+impl RtMetrics {
+    fn new(obs: &Obs, node: u16) -> RtMetrics {
+        let r = obs.registry();
+        RtMetrics {
+            ring_to_host: r.counter_on("rt.ring.to_host", node),
+            ring_to_host_bytes: r.counter_on("rt.ring.to_host_bytes", node),
+            ring_to_nic: r.counter_on("rt.ring.to_nic", node),
+            ring_xfer: r.hist_on("rt.ring.xfer", node),
+            ring_depth: r.gauge_on("rt.ring.depth", node),
+            nic_exec: r.counter_on("rt.exec.nic", node),
+            nic_forward: r.counter_on("rt.forward.nic", node),
+            host_exec: r.counter_on("rt.exec.host", node),
+            watchdog_kills: r.counter_on("rt.watchdog.kills", node),
+        }
+    }
+}
+
 struct NodeRt {
     #[allow(dead_code)]
     id: u16,
     sched: NicScheduler,
+    metrics: RtMetrics,
     nic_inflight: Vec<Option<InFlight>>,
     host_queues: Vec<std::collections::VecDeque<Request>>,
     host_inflight: Vec<Option<InFlight>>,
@@ -179,6 +220,7 @@ pub struct ClusterBuilder {
     sched: Option<SchedConfig>,
     seed: u64,
     region_bytes: u64,
+    obs: Option<Obs>,
 }
 
 impl ClusterBuilder {
@@ -224,15 +266,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Share an observability handle: all schedulers, the network model and
+    /// the completion stats publish into its registry, and runtime spans go
+    /// to its trace ring. Defaults to a metrics-only private handle.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Assemble the cluster.
     pub fn build(self) -> Cluster {
         assert!(self.servers >= 1 && self.clients >= 1);
         let mut rng = DetRng::new(self.seed);
-        let cfg = self.sched.unwrap_or_else(|| SchedConfig::for_nic(self.spec));
+        let cfg = self
+            .sched
+            .unwrap_or_else(|| SchedConfig::for_nic(self.spec));
+        let obs = self.obs.unwrap_or_else(Obs::disabled);
         let nodes = (0..self.servers)
             .map(|i| NodeRt {
                 id: i as u16,
-                sched: NicScheduler::new(self.spec, cfg),
+                sched: NicScheduler::with_obs(self.spec, cfg, &obs, i as u16),
+                metrics: RtMetrics::new(&obs, i as u16),
                 nic_inflight: (0..self.spec.cores).map(|_| None).collect(),
                 host_queues: (0..self.host_cores).map(|_| Default::default()).collect(),
                 host_inflight: (0..self.host_cores).map(|_| None).collect(),
@@ -249,6 +303,8 @@ impl ClusterBuilder {
                 ring_messages: 0,
             })
             .collect();
+        let mut net = NetModel::new(self.servers + self.clients, self.spec.link_gbps);
+        net.attach_obs(obs.registry());
         Cluster {
             spec: self.spec,
             host: self.host,
@@ -257,10 +313,15 @@ impl ClusterBuilder {
             nodes,
             n_servers: self.servers,
             n_clients: self.clients,
-            net: NetModel::new(self.servers + self.clients, self.spec.link_gbps),
+            net,
             events: EventQueue::new(),
             clients: (0..self.clients).map(|_| None).collect(),
-            completions: CompletionStats::default(),
+            completions: CompletionStats {
+                issued: 0,
+                done: 0,
+                hist: obs.registry().hist("client.latency"),
+            },
+            obs,
             rng,
             next_actor: 1,
             measure_start: SimTime::ZERO,
@@ -292,6 +353,7 @@ pub struct Cluster {
     events: EventQueue<Ev>,
     clients: Vec<Option<ClientState>>,
     completions: CompletionStats,
+    obs: Obs,
     rng: DetRng,
     next_actor: ActorId,
     measure_start: SimTime,
@@ -321,7 +383,13 @@ impl Cluster {
             sched: None,
             seed: 0xA11CE,
             region_bytes: 64 << 20,
+            obs: None,
         }
+    }
+
+    /// The cluster's observability handle (registry + trace ring).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Current simulated time.
@@ -359,7 +427,8 @@ impl Cluster {
         }
         let speedup = logic.host_speedup().max(0.1);
         let hint = logic.state_hint_bytes();
-        n.sched.register(id, 512, if on_host { Loc::Host } else { Loc::Nic });
+        n.sched
+            .register(id, 512, if on_host { Loc::Host } else { Loc::Nic });
         n.actors.insert(
             id,
             ActorSlot {
@@ -390,8 +459,12 @@ impl Cluster {
             rng,
         });
         for _ in 0..outstanding {
-            self.events
-                .schedule_after(SimTime::ZERO, Ev::Issue { client: client as u16 });
+            self.events.schedule_after(
+                SimTime::ZERO,
+                Ev::Issue {
+                    client: client as u16,
+                },
+            );
         }
     }
 
@@ -494,9 +567,7 @@ impl Cluster {
     pub fn force_migrate(&mut self, addr: Address) -> bool {
         let now = self.events.now();
         let node = &mut self.nodes[addr.node as usize];
-        if node.active_migration.is_some()
-            || node.sched.location(addr.actor) != Some(Loc::Nic)
-        {
+        if node.active_migration.is_some() || node.sched.location(addr.actor) != Some(Loc::Nic) {
             return false;
         }
         node.sched.set_location(addr.actor, Loc::Migrating);
@@ -536,10 +607,12 @@ impl Cluster {
             Ev::RingToHost { node, req } => {
                 let n = &mut self.nodes[node as usize];
                 n.ring_depth = n.ring_depth.saturating_sub(1);
+                n.metrics.ring_depth.set(n.ring_depth as i64);
                 self.enqueue_host(now, node, req);
             }
             Ev::RingToNic { node, req } => {
                 let n = &mut self.nodes[node as usize];
+                n.metrics.ring_to_nic.inc();
                 n.sched.on_arrival(now, req);
                 self.kick_nic(now, node);
             }
@@ -601,6 +674,18 @@ impl Cluster {
                     if issued >= self.measure_start {
                         self.completions.done += 1;
                         self.completions.hist.record(now.saturating_sub(issued));
+                        // Per-request client RTT spans are verbose-only.
+                        if self.obs.traces(TraceLevel::Verbose) {
+                            self.obs.span(
+                                "client",
+                                "rtt",
+                                node,
+                                client as u32,
+                                issued,
+                                now,
+                                Some(("token", req.token as i64)),
+                            );
+                        }
                     }
                     self.events.schedule_after(
                         SimTime::ZERO,
@@ -660,9 +745,24 @@ impl Cluster {
                     let xfer = ring_to_host_latency(self.spec, req.wire_size);
                     n.ring_depth += 1;
                     n.ring_messages += 1;
+                    n.metrics.ring_to_host.inc();
+                    n.metrics.ring_to_host_bytes.add(req.wire_size as u64);
+                    n.metrics.ring_xfer.record(xfer);
+                    n.metrics.ring_depth.set(n.ring_depth as i64);
+                    n.metrics.nic_forward.inc();
                     let actor = req.actor;
                     let arrived = req.arrived;
-                    self.events.schedule_at(now + xfer, Ev::RingToHost { node, req });
+                    self.events
+                        .schedule_at(now + xfer, Ev::RingToHost { node, req });
+                    self.obs.span(
+                        "nic",
+                        "forward",
+                        node,
+                        core,
+                        now,
+                        now + push_cost,
+                        Some(("actor", actor as i64)),
+                    );
                     let n = &mut self.nodes[node as usize];
                     n.nic_inflight[core as usize] = Some(InFlight {
                         actor,
@@ -672,7 +772,8 @@ impl Cluster {
                         forward_only: true,
                     });
                     n.nic_busy_total += push_cost;
-                    self.events.schedule_at(now + push_cost, Ev::NicFree { node, core });
+                    self.events
+                        .schedule_at(now + push_cost, Ev::NicFree { node, core });
                     return;
                 }
                 Some(Work::Exec(req)) => {
@@ -715,10 +816,7 @@ impl Cluster {
         let handler = charged + mem_time;
         let dispatch = n.sched.dispatch_overhead();
         let fwd = self.spec.fwd.cost(wire);
-        let send_cost: SimTime = emits
-            .iter()
-            .map(|e| nic_emit_cost(self.spec, e))
-            .sum();
+        let send_cost: SimTime = emits.iter().map(|e| nic_emit_cost(self.spec, e)).sum();
         let busy = dispatch + fwd.max(handler) + send_cost;
 
         // DoS watchdog: a runaway handler gets its actor deregistered.
@@ -726,6 +824,15 @@ impl Cluster {
             n.sched.deregister(offender);
             n.actors.remove(&offender);
             n.dmo.drop_actor(offender);
+            n.metrics.watchdog_kills.inc();
+            self.obs.instant(
+                "nic",
+                "watchdog.kill",
+                node,
+                core,
+                now,
+                Some(("actor", offender as i64)),
+            );
             self.kills.push((node, offender));
             // The core is released after the timeout budget.
             let timeout = n.watchdog.timeout();
@@ -737,10 +844,12 @@ impl Cluster {
                 forward_only: true,
             });
             n.nic_busy_total += timeout;
-            self.events.schedule_at(now + timeout, Ev::NicFree { node, core });
+            self.events
+                .schedule_at(now + timeout, Ev::NicFree { node, core });
             return;
         }
         n.watchdog.disarm(core);
+        n.metrics.nic_exec.inc();
         n.nic_inflight[core as usize] = Some(InFlight {
             actor,
             arrived,
@@ -749,14 +858,27 @@ impl Cluster {
             forward_only: false,
         });
         n.nic_busy_total += busy;
-        self.events.schedule_at(now + busy, Ev::NicFree { node, core });
+        self.events
+            .schedule_at(now + busy, Ev::NicFree { node, core });
+        self.obs.span(
+            "nic",
+            "exec",
+            node,
+            core,
+            now,
+            now + busy,
+            Some(("actor", actor as i64)),
+        );
     }
 
     fn handle_nic_free(&mut self, now: SimTime, node: u16, core: u32) {
         let inflight = self.nodes[node as usize].nic_inflight[core as usize]
             .take()
             .expect("core was busy");
-        if !inflight.forward_only || self.nodes[node as usize].actors.contains_key(&inflight.actor)
+        if !inflight.forward_only
+            || self.nodes[node as usize]
+                .actors
+                .contains_key(&inflight.actor)
         {
             let n = &mut self.nodes[node as usize];
             n.sched.on_complete(
@@ -769,7 +891,9 @@ impl Cluster {
         }
         self.route_emits(now, node, inflight.emits, true);
         let mut actions = std::mem::take(&mut self.action_scratch);
-        self.nodes[node as usize].sched.take_actions_into(&mut actions);
+        self.nodes[node as usize]
+            .sched
+            .take_actions_into(&mut actions);
         for a in actions.drain(..) {
             self.apply_action(now, node, a);
         }
@@ -810,9 +934,7 @@ impl Cluster {
                 let victim = n
                     .actors
                     .iter()
-                    .filter(|(id, s)| {
-                        !s.pinned_host && n.sched.location(**id) == Some(Loc::Host)
-                    })
+                    .filter(|(id, s)| !s.pinned_host && n.sched.location(**id) == Some(Loc::Host))
                     .min_by(|(a_id, _), (b_id, _)| {
                         let la = n.sched.actor(**a_id).map(|x| x.stats.load()).unwrap_or(0.0);
                         let lb = n.sched.actor(**b_id).map(|x| x.stats.load()).unwrap_or(0.0);
@@ -820,11 +942,7 @@ impl Cluster {
                     })
                     .map(|(&id, _)| id);
                 let Some(victim) = victim else { return };
-                let victim_load = n
-                    .sched
-                    .actor(victim)
-                    .map(|a| a.stats.load())
-                    .unwrap_or(0.0);
+                let victim_load = n.sched.actor(victim).map(|a| a.stats.load()).unwrap_or(0.0);
                 if victim_load > 0.3 * self.spec.cores as f64 {
                     return;
                 }
@@ -874,7 +992,7 @@ impl Cluster {
                     };
                     let _ = dur;
                     m.complete_phase(SimTime::ZERO); // duration recorded below
-                    // Phase 3: move the DMOs.
+                                                     // Phase 3: move the DMOs.
                     let actor = m.actor;
                     let objs = n.dmo.objects_of(actor);
                     let bytes: u64 = objs.iter().map(|(_, s)| *s).sum();
@@ -938,6 +1056,8 @@ impl Cluster {
             mig.buffered = Vec::new();
             let mut report = mig.report(&name, bytes);
             report.requests_forwarded = buffered.len() as u64;
+            report.record_to(self.obs.registry(), node);
+            report.trace_to(&self.obs, node, MIGRATION_LANE, mig.started);
             n.migration_reports.push(report);
         }
         self.nodes[node as usize].mig_cooldown_until = now + SimTime::from_ms(1);
@@ -950,12 +1070,17 @@ impl Cluster {
             match dest {
                 Loc::Host => {
                     let xfer = ring_to_host_latency(self.spec, req.wire_size);
-                    self.nodes[node as usize].ring_messages += 1;
+                    let n = &mut self.nodes[node as usize];
+                    n.ring_messages += 1;
+                    n.metrics.ring_to_host.inc();
+                    n.metrics.ring_to_host_bytes.add(req.wire_size as u64);
+                    n.metrics.ring_xfer.record(xfer);
                     self.events
                         .schedule_after(delay + xfer, Ev::RingToHost { node, req });
                 }
                 _ => {
-                    self.events.schedule_after(delay, Ev::RingToNic { node, req });
+                    self.events
+                        .schedule_after(delay, Ev::RingToNic { node, req });
                 }
             }
         }
@@ -1028,8 +1153,8 @@ impl Cluster {
             }
         };
         let handler = SimTime::from_ns(
-            ((charged + host_mem_time(self.host, traffic_stats)).as_ns() as f64
-                / slot.host_speedup) as u64,
+            ((charged + host_mem_time(self.host, traffic_stats)).as_ns() as f64 / slot.host_speedup)
+                as u64,
         );
         let out_cost: SimTime = emits
             .iter()
@@ -1041,6 +1166,7 @@ impl Cluster {
             .sum();
         let busy = in_cost + handler + out_cost;
         n.host_acct.charge(busy);
+        n.metrics.host_exec.inc();
         n.host_inflight[core as usize] = Some(InFlight {
             actor,
             arrived,
@@ -1048,7 +1174,17 @@ impl Cluster {
             emits,
             forward_only: false,
         });
-        self.events.schedule_at(now + busy, Ev::HostFree { node, core });
+        self.events
+            .schedule_at(now + busy, Ev::HostFree { node, core });
+        self.obs.span(
+            "host",
+            "exec",
+            node,
+            HOST_LANE_OFFSET + core,
+            now,
+            now + busy,
+            Some(("actor", actor as i64)),
+        );
     }
 
     fn handle_host_free(&mut self, now: SimTime, node: u16, core: u32) {
@@ -1100,7 +1236,11 @@ impl Cluster {
                         match loc {
                             Some(Loc::Host) => {
                                 let xfer = ring_to_host_latency(self.spec, wire_size);
-                                self.nodes[node as usize].ring_messages += 1;
+                                let n = &mut self.nodes[node as usize];
+                                n.ring_messages += 1;
+                                n.metrics.ring_to_host.inc();
+                                n.metrics.ring_to_host_bytes.add(wire_size as u64);
+                                n.metrics.ring_xfer.record(xfer);
                                 self.events
                                     .schedule_at(now + xfer, Ev::RingToHost { node, req });
                             }
@@ -1255,7 +1395,11 @@ fn host_egress_delay(mode: RuntimeMode, spec: &NicSpec, size: u32) -> SimTime {
 fn nic_mem_time(spec: &NicSpec, state_hot: bool, t: crate::dmo::DmoTraffic) -> SimTime {
     let line = spec.cache.line as u64;
     let lines = t.bytes.div_ceil(line);
-    let data_lat = if state_hot { spec.mem.l2 } else { spec.mem.dram };
+    let data_lat = if state_hot {
+        spec.mem.l2
+    } else {
+        spec.mem.dram
+    };
     spec.mem.l2 * t.lookups + data_lat * lines
 }
 
@@ -1300,7 +1444,11 @@ mod tests {
     }
 
     fn echo_cluster(cost_us: u64) -> (Cluster, Address) {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(7).build();
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(7)
+            .build();
         let a = c.register_actor(
             0,
             "echo",
@@ -1517,7 +1665,11 @@ mod tests {
 
     #[test]
     fn watchdog_kills_runaway_actor_and_others_survive() {
-        let mut c = Cluster::builder(CN2350).servers(1).clients(1).seed(5).build();
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(5)
+            .build();
         let good = c.register_actor(
             0,
             "good",
@@ -1540,7 +1692,10 @@ mod tests {
         );
         c.run_for(SimTime::from_ms(20));
         assert_eq!(c.watchdog_kills(), &[(0, bad.actor)]);
-        assert!(c.completions().count() > 100, "good actor must keep serving");
+        assert!(
+            c.completions().count() > 100,
+            "good actor must keep serving"
+        );
         assert_eq!(c.actor_location(bad), None, "bad actor deregistered");
     }
 
@@ -1572,7 +1727,11 @@ mod tests {
                 }
             }
         }
-        let mut c = Cluster::builder(CN2350).servers(2).clients(1).seed(3).build();
+        let mut c = Cluster::builder(CN2350)
+            .servers(2)
+            .clients(1)
+            .seed(3)
+            .build();
         let sink = c.register_actor(1, "sink", Box::new(Sink), Placement::Nic);
         let relay = c.register_actor(0, "relay", Box::new(Relay { next: sink }), Placement::Nic);
         c.run_closed_loop(relay, 8, 512, SimTime::from_ms(5));
@@ -1590,4 +1749,3 @@ mod tests {
         assert_eq!(run(), run());
     }
 }
-

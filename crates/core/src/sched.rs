@@ -24,8 +24,55 @@ use crate::actor::{ActorId, Mailbox, Request};
 use crate::bookkeep::{ActorStats, CoreUtil, GroupStats};
 use ipipe_nicsim::spec::NicSpec;
 use ipipe_nicsim::traffic;
+use ipipe_sim::obs::{Counter, Gauge, HistHandle, Obs};
 use ipipe_sim::SimTime;
 use std::collections::{HashMap, VecDeque};
+
+/// Registry handles for every scheduler-owned metric. Resolved once at
+/// construction; updating any of them on the hot path is a plain `Cell`
+/// operation (see `sim::obs`). Metric names are listed in DESIGN.md.
+struct SchedMetrics {
+    arrivals: Counter,
+    exec_fcfs: Counter,
+    exec_drr: Counter,
+    forwarded: Counter,
+    buffered: Counter,
+    dropped: Counter,
+    mailbox_dispatch: Counter,
+    regroup_to_drr: Counter,
+    regroup_to_fcfs: Counter,
+    migrate_push: Counter,
+    migrate_pull: Counter,
+    core_rebalance: Counter,
+    fcfs_depth: Gauge,
+    drr_backlog_gauge: Gauge,
+    sojourn_fcfs: HistHandle,
+    sojourn_drr: HistHandle,
+}
+
+impl SchedMetrics {
+    fn new(obs: &Obs, node: u16) -> SchedMetrics {
+        let r = obs.registry();
+        SchedMetrics {
+            arrivals: r.counter_on("sched.arrivals", node),
+            exec_fcfs: r.counter_on("sched.exec.fcfs", node),
+            exec_drr: r.counter_on("sched.exec.drr", node),
+            forwarded: r.counter_on("sched.forwarded", node),
+            buffered: r.counter_on("sched.buffered", node),
+            dropped: r.counter_on("sched.dropped", node),
+            mailbox_dispatch: r.counter_on("sched.dispatch.mailbox", node),
+            regroup_to_drr: r.counter_on("sched.regroup.to_drr", node),
+            regroup_to_fcfs: r.counter_on("sched.regroup.to_fcfs", node),
+            migrate_push: r.counter_on("sched.migrate.push", node),
+            migrate_pull: r.counter_on("sched.migrate.pull", node),
+            core_rebalance: r.counter_on("sched.core.rebalance", node),
+            fcfs_depth: r.gauge_on("sched.queue.fcfs", node),
+            drr_backlog_gauge: r.gauge_on("sched.queue.drr_backlog", node),
+            sojourn_fcfs: r.hist_on("sched.sojourn.fcfs", node),
+            sojourn_drr: r.hist_on("sched.sojourn.drr", node),
+        }
+    }
+}
 
 /// How an off-path card (no hardware traffic manager) emulates the shared
 /// queue (§3.2.6). On-path cards ignore this — their traffic manager is the
@@ -103,8 +150,7 @@ impl SchedConfig {
             util_window: SimTime::from_us(200),
             discipline: Discipline::Hybrid,
             migration: true,
-            default_quantum: traffic::compute_headroom(spec, 512)
-                .unwrap_or(SimTime::from_us(2)),
+            default_quantum: traffic::compute_headroom(spec, 512).unwrap_or(SimTime::from_us(2)),
             fixed_quantum: None,
             offpath: OffPathDispatch::Shuffle,
         }
@@ -229,11 +275,25 @@ pub struct NicScheduler {
     migrations_started: u64,
     /// Last time an FCFS-group operation completed (for idle decay).
     last_fcfs_obs: SimTime,
+    metrics: SchedMetrics,
 }
 
 impl NicScheduler {
-    /// Build for a card with `cfg`.
+    /// Build for a card with `cfg`, publishing metrics into a private
+    /// registry. Use [`NicScheduler::with_obs`] to share a registry with
+    /// the rest of a simulation.
     pub fn new(spec: &'static NicSpec, cfg: SchedConfig) -> NicScheduler {
+        NicScheduler::with_obs(spec, cfg, &Obs::disabled(), 0)
+    }
+
+    /// Build for a card with `cfg`, registering this scheduler's metrics
+    /// under `node` in the shared observability registry.
+    pub fn with_obs(
+        spec: &'static NicSpec,
+        cfg: SchedConfig,
+        obs: &Obs,
+        node: u16,
+    ) -> NicScheduler {
         let cores = spec.cores as usize;
         // Pure-DRR baseline: every core serves the runnable queue (DRR cores
         // self-dispatch from the shared queue into mailboxes).
@@ -255,6 +315,7 @@ impl NicScheduler {
             pending: Vec::new(),
             migrations_started: 0,
             last_fcfs_obs: SimTime::ZERO,
+            metrics: SchedMetrics::new(obs, node),
         }
     }
 
@@ -298,7 +359,11 @@ impl NicScheduler {
         let before = self.drr_runnable.len();
         self.drr_runnable.retain(|&x| x != actor);
         if self.drr_runnable.len() != before {
-            let queued = self.actors.get(&actor).map(|a| a.mailbox.len()).unwrap_or(0);
+            let queued = self
+                .actors
+                .get(&actor)
+                .map(|a| a.mailbox.len())
+                .unwrap_or(0);
             self.drr_backlog -= queued;
         }
     }
@@ -344,6 +409,8 @@ impl NicScheduler {
             a.stats.on_arrival(now, req.wire_size);
         }
         self.fcfs_queue.push_back(req);
+        self.metrics.arrivals.inc();
+        self.metrics.fcfs_depth.set(self.fcfs_queue.len() as i64);
     }
 
     /// Number of cores currently in each mode: (fcfs, drr).
@@ -414,6 +481,7 @@ impl NicScheduler {
                 if let Some(a) = self.actors.get_mut(&req.actor) {
                     a.mailbox.push(req);
                     self.drr_backlog += 1;
+                    self.metrics.mailbox_dispatch.inc();
                 }
             }
             return None;
@@ -428,17 +496,26 @@ impl NicScheduler {
         while let Some(req) = self.fcfs_queue.pop_front() {
             let Some(a) = self.actors.get_mut(&req.actor) else {
                 // Unknown actor (killed): drop the request.
+                self.metrics.dropped.inc();
                 continue;
             };
             match a.loc {
-                Loc::Host => return Some(Work::Forward(req)),
-                Loc::Migrating => return Some(Work::Buffer(req)),
+                Loc::Host => {
+                    self.metrics.forwarded.inc();
+                    return Some(Work::Forward(req));
+                }
+                Loc::Migrating => {
+                    self.metrics.buffered.inc();
+                    return Some(Work::Buffer(req));
+                }
                 Loc::Nic => {
                     if a.is_drr {
                         a.mailbox.push(req);
                         self.drr_backlog += 1;
+                        self.metrics.mailbox_dispatch.inc();
                         continue;
                     }
+                    self.metrics.exec_fcfs.inc();
                     return Some(Work::Exec(req));
                 }
             }
@@ -463,6 +540,7 @@ impl NicScheduler {
             if let Some(a) = self.actors.get_mut(&req.actor) {
                 a.mailbox.push(req);
                 self.drr_backlog += 1;
+                self.metrics.mailbox_dispatch.inc();
             }
         }
         // A DRR core spins through round-robin sweeps (ALG 2's outer while
@@ -516,6 +594,7 @@ impl NicScheduler {
                         a.deficit -= est;
                         let req = a.mailbox.pop().expect("checked non-empty");
                         self.drr_backlog -= 1;
+                        self.metrics.exec_drr.inc();
                         return Some(Work::Exec(req));
                     }
                 }
@@ -545,7 +624,11 @@ impl NicScheduler {
         if !was_drr {
             self.fcfs_group.observe(sojourn);
             self.last_fcfs_obs = now;
+            self.metrics.sojourn_fcfs.record(sojourn);
+        } else {
+            self.metrics.sojourn_drr.record(sojourn);
         }
+        self.metrics.drr_backlog_gauge.set(self.drr_backlog as i64);
 
         if self.cfg.discipline == Discipline::Hybrid {
             self.evaluate_regrouping(now);
@@ -611,12 +694,14 @@ impl NicScheduler {
                 a.deficit = 0.0;
                 a.last_regroup = now;
                 self.drr_runnable_push(id);
+                self.metrics.regroup_to_drr.inc();
                 self.pending.push(Action::Regrouped {
                     actor: id,
                     to_drr: true,
                 });
             }
-        } else if (tail.as_ns() as f64) < (1.0 - self.cfg.alpha) * self.cfg.tail_thresh.as_ns() as f64
+        } else if (tail.as_ns() as f64)
+            < (1.0 - self.cfg.alpha) * self.cfg.tail_thresh.as_ns() as f64
         {
             // Upgrade the DRR actor with the lowest dispersion — but never
             // one that still disperses far beyond its peers (it would drag
@@ -650,6 +735,7 @@ impl NicScheduler {
                 a.is_drr = false;
                 a.last_regroup = now;
                 self.drr_runnable_remove(id);
+                self.metrics.regroup_to_fcfs.inc();
                 self.pending.push(Action::Regrouped {
                     actor: id,
                     to_drr: false,
@@ -688,12 +774,15 @@ impl NicScheduler {
                 a.is_drr = false;
                 self.drr_runnable_remove(id);
                 self.migrations_started += 1;
+                self.metrics.migrate_push.inc();
                 self.pending.push(Action::PushMigrate(id));
             }
-        } else if (mean.as_ns() as f64) < (1.0 - self.cfg.alpha) * self.cfg.mean_thresh.as_ns() as f64
+        } else if (mean.as_ns() as f64)
+            < (1.0 - self.cfg.alpha) * self.cfg.mean_thresh.as_ns() as f64
         {
             // Pull the lightest host actor back if any exists.
             if self.actors.values().any(|a| a.loc == Loc::Host) {
+                self.metrics.migrate_pull.inc();
                 self.pending.push(Action::PullMigrate);
             }
         }
@@ -712,6 +801,7 @@ impl NicScheduler {
             a.is_drr = false;
             self.drr_runnable_remove(actor);
             self.migrations_started += 1;
+            self.metrics.migrate_push.inc();
             self.pending.push(Action::PushMigrate(actor));
         }
     }
@@ -725,6 +815,7 @@ impl NicScheduler {
         if needs_drr && drr_n == 0 && fcfs_n > 1 {
             let core = self.modes.len() - 1;
             self.modes[core] = CoreMode::Drr;
+            self.metrics.core_rebalance.inc();
             self.pending.push(Action::CoreRebalanced {
                 core: core as u32,
                 to: CoreMode::Drr,
@@ -735,6 +826,7 @@ impl NicScheduler {
         if !needs_drr && drr_n > 0 {
             if let Some(core) = self.modes.iter().rposition(|&m| m == CoreMode::Drr) {
                 self.modes[core] = CoreMode::Fcfs;
+                self.metrics.core_rebalance.inc();
                 self.pending.push(Action::CoreRebalanced {
                     core: core as u32,
                     to: CoreMode::Fcfs,
@@ -756,6 +848,7 @@ impl NicScheduler {
             if let Some(core) = self.modes.iter().rposition(|&m| m == CoreMode::Fcfs) {
                 if core != 0 {
                     self.modes[core] = CoreMode::Drr;
+                    self.metrics.core_rebalance.inc();
                     self.pending.push(Action::CoreRebalanced {
                         core: core as u32,
                         to: CoreMode::Drr,
@@ -765,6 +858,7 @@ impl NicScheduler {
         } else if fcfs_util >= 0.95 && drr_n > 1 && drr_util < (drr_n as f64 - 1.0) / drr_n as f64 {
             if let Some(core) = self.modes.iter().rposition(|&m| m == CoreMode::Drr) {
                 self.modes[core] = CoreMode::Fcfs;
+                self.metrics.core_rebalance.inc();
                 self.pending.push(Action::CoreRebalanced {
                     core: core as u32,
                     to: CoreMode::Fcfs,
@@ -916,7 +1010,10 @@ mod tests {
         let mut s = sched();
         s.set_location(2, Loc::Migrating);
         s.on_arrival(SimTime::ZERO, req(2, 3));
-        assert!(matches!(s.next_for_core(SimTime::ZERO, 0), Some(Work::Buffer(_))));
+        assert!(matches!(
+            s.next_for_core(SimTime::ZERO, 0),
+            Some(Work::Buffer(_))
+        ));
     }
 
     #[test]
@@ -924,7 +1021,13 @@ mod tests {
         let mut s = sched();
         // Actor 1: stable 10us. Actor 2: wildly dispersed.
         for i in 0..300 {
-            s.on_complete(SimTime::from_us(i * 10), 1, 1, SimTime::from_us(10), SimTime::from_us(5));
+            s.on_complete(
+                SimTime::from_us(i * 10),
+                1,
+                1,
+                SimTime::from_us(10),
+                SimTime::from_us(5),
+            );
             let lat = if i % 2 == 0 { 5 } else { 300 };
             s.on_complete(
                 SimTime::from_us(i * 10 + 5),
@@ -937,9 +1040,13 @@ mod tests {
         assert!(s.is_drr(2), "dispersed actor should be DRR");
         assert!(!s.is_drr(1), "stable actor should stay FCFS");
         let actions = s.take_actions();
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Regrouped { actor: 2, to_drr: true })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Regrouped {
+                actor: 2,
+                to_drr: true
+            }
+        )));
         // A DRR core was spawned.
         let (_, drr) = s.core_split();
         assert!(drr >= 1);
@@ -978,9 +1085,18 @@ mod tests {
         // Feed uniformly low sojourns: tail falls below (1-a)*thresh. The
         // run must outlast the regroup cooldown.
         for i in 0..500 {
-            s.on_complete(SimTime::from_us(i * 10), 1, 1, SimTime::from_us(8), SimTime::from_us(4));
+            s.on_complete(
+                SimTime::from_us(i * 10),
+                1,
+                1,
+                SimTime::from_us(8),
+                SimTime::from_us(4),
+            );
         }
-        assert!(!s.is_drr(2), "calm system should upgrade actor back to FCFS");
+        assert!(
+            !s.is_drr(2),
+            "calm system should upgrade actor back to FCFS"
+        );
     }
 
     #[test]
@@ -1033,7 +1149,13 @@ mod tests {
         let mut s = sched();
         s.set_location(2, Loc::Host);
         for i in 0..200 {
-            s.on_complete(SimTime::from_us(i * 50), 0, 1, SimTime::from_us(5), SimTime::from_us(2));
+            s.on_complete(
+                SimTime::from_us(i * 50),
+                0,
+                1,
+                SimTime::from_us(5),
+                SimTime::from_us(2),
+            );
         }
         let actions = s.take_actions();
         assert!(actions.iter().any(|a| matches!(a, Action::PullMigrate)));
@@ -1049,18 +1171,33 @@ mod tests {
             let _ = s.next_for_core(SimTime::ZERO, 0); // dispatch into mailbox
         }
         assert!(s.actor(2).unwrap().mailbox.len() > 8);
-        s.on_complete(SimTime::from_us(10), 1, 2, SimTime::from_us(10), SimTime::from_us(5));
+        s.on_complete(
+            SimTime::from_us(10),
+            1,
+            2,
+            SimTime::from_us(10),
+            SimTime::from_us(5),
+        );
         let actions = s.take_actions();
         assert!(actions.iter().any(|a| matches!(a, Action::PushMigrate(2))));
     }
 
     #[test]
     fn fcfs_only_discipline_never_downgrades() {
-        let mut s = NicScheduler::new(&CN2350, cfg().with_discipline(Discipline::FcfsOnly).no_migration());
+        let mut s = NicScheduler::new(
+            &CN2350,
+            cfg().with_discipline(Discipline::FcfsOnly).no_migration(),
+        );
         s.register(1, 512, Loc::Nic);
         for i in 0..300 {
             let lat = if i % 2 == 0 { 5 } else { 400 };
-            s.on_complete(SimTime::from_us(i * 10), 1, 1, SimTime::from_us(lat), SimTime::from_us(5));
+            s.on_complete(
+                SimTime::from_us(i * 10),
+                1,
+                1,
+                SimTime::from_us(lat),
+                SimTime::from_us(5),
+            );
         }
         assert!(!s.is_drr(1));
         assert!(s.take_actions().is_empty());
@@ -1068,7 +1205,10 @@ mod tests {
 
     #[test]
     fn drr_only_discipline_starts_in_drr() {
-        let mut s = NicScheduler::new(&CN2350, cfg().with_discipline(Discipline::DrrOnly).no_migration());
+        let mut s = NicScheduler::new(
+            &CN2350,
+            cfg().with_discipline(Discipline::DrrOnly).no_migration(),
+        );
         s.register(1, 512, Loc::Nic);
         assert!(s.is_drr(1));
     }

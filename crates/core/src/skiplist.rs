@@ -277,11 +277,16 @@ mod tests {
         let mut sl = DmoSkipList::create(&mut dmo).unwrap();
         assert!(sl.is_empty());
         for i in 0..100 {
-            assert!(sl.insert(&mut dmo, &mut rng, &key(i), format!("v{i}").as_bytes()).unwrap());
+            assert!(sl
+                .insert(&mut dmo, &mut rng, &key(i), format!("v{i}").as_bytes())
+                .unwrap());
         }
         assert_eq!(sl.len(), 100);
         for i in 0..100 {
-            assert_eq!(sl.get(&mut dmo, &key(i)).unwrap().unwrap(), format!("v{i}").as_bytes());
+            assert_eq!(
+                sl.get(&mut dmo, &key(i)).unwrap().unwrap(),
+                format!("v{i}").as_bytes()
+            );
         }
         assert_eq!(sl.get(&mut dmo, &key(1000)).unwrap(), None);
     }
@@ -292,9 +297,14 @@ mod tests {
         let mut dmo = t.scoped(1);
         let mut sl = DmoSkipList::create(&mut dmo).unwrap();
         assert!(sl.insert(&mut dmo, &mut rng, &key(5), b"first").unwrap());
-        assert!(!sl.insert(&mut dmo, &mut rng, &key(5), b"second-longer").unwrap());
+        assert!(!sl
+            .insert(&mut dmo, &mut rng, &key(5), b"second-longer")
+            .unwrap());
         assert_eq!(sl.len(), 1);
-        assert_eq!(sl.get(&mut dmo, &key(5)).unwrap().unwrap(), b"second-longer");
+        assert_eq!(
+            sl.get(&mut dmo, &key(5)).unwrap().unwrap(),
+            b"second-longer"
+        );
     }
 
     #[test]
@@ -324,7 +334,8 @@ mod tests {
         let mut dmo = t.scoped(1);
         let mut sl = DmoSkipList::create(&mut dmo).unwrap();
         for i in (0..100).step_by(2) {
-            sl.insert(&mut dmo, &mut rng, &key(i), &i.to_le_bytes()).unwrap();
+            sl.insert(&mut dmo, &mut rng, &key(i), &i.to_le_bytes())
+                .unwrap();
         }
         // Scan from an absent key lands on the next present one.
         let got = sl.iter_from(&mut dmo, &key(31), 5).unwrap();
@@ -342,7 +353,8 @@ mod tests {
         let mut sl = DmoSkipList::create(&mut dmo).unwrap();
         // Insert in reverse order.
         for i in (0..200).rev() {
-            sl.insert(&mut dmo, &mut rng, &key(i), &i.to_le_bytes()).unwrap();
+            sl.insert(&mut dmo, &mut rng, &key(i), &i.to_le_bytes())
+                .unwrap();
         }
         let all = sl.iter_all(&mut dmo).unwrap();
         assert_eq!(all.len(), 200);
@@ -360,13 +372,13 @@ mod tests {
         for i in 0..100 {
             sl.insert(&mut dmo, &mut rng, &key(i), &[0u8; 100]).unwrap();
         }
-        drop(dmo);
+        let _ = dmo;
         let (used_full, _) = t.region_usage(1).unwrap();
         let mut dmo = t.scoped(1);
         sl.clear(&mut dmo).unwrap();
         assert_eq!(sl.len(), 0);
         assert_eq!(sl.get(&mut dmo, &key(3)).unwrap(), None);
-        drop(dmo);
+        let _ = dmo;
         let (used_after, _) = t.region_usage(1).unwrap();
         assert!(used_after < used_full / 10, "{used_after} vs {used_full}");
         // Reusable after clear.

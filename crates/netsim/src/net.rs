@@ -1,9 +1,10 @@
 //! The link/switch timing oracle.
 
-use crate::packet::Packet;
 #[cfg(test)]
 use crate::packet::NodeId;
+use crate::packet::Packet;
 use ipipe_nicsim::spec::WIRE_OVERHEAD_BYTES;
+use ipipe_sim::obs::{Counter, HistHandle, Registry};
 use ipipe_sim::SimTime;
 
 /// A star topology: every node hangs off one ToR switch (Arista DCS-7050S /
@@ -23,6 +24,16 @@ pub struct NetModel {
     /// Bytes moved, for throughput accounting.
     bytes_sent: u64,
     packets_sent: u64,
+    /// Optional registry handles (see [`NetModel::attach_obs`]).
+    obs: Option<NetMetrics>,
+}
+
+/// Registry handles published when an observability registry is attached.
+#[derive(Debug, Clone)]
+struct NetMetrics {
+    packets: Counter,
+    bytes: Counter,
+    tx_wait: HistHandle,
 }
 
 impl NetModel {
@@ -38,7 +49,18 @@ impl NetModel {
             rx_free: vec![SimTime::ZERO; nodes],
             bytes_sent: 0,
             packets_sent: 0,
+            obs: None,
         }
+    }
+
+    /// Publish link metrics into `reg`: `net.packets`, `net.bytes` and the
+    /// `net.tx_wait` histogram of egress head-of-line blocking time.
+    pub fn attach_obs(&mut self, reg: &Registry) {
+        self.obs = Some(NetMetrics {
+            packets: reg.counter("net.packets"),
+            bytes: reg.counter("net.bytes"),
+            tx_wait: reg.hist("net.tx_wait"),
+        });
     }
 
     /// Number of attached nodes.
@@ -80,6 +102,11 @@ impl NetModel {
 
         self.bytes_sent += (pkt.size + WIRE_OVERHEAD_BYTES) as u64;
         self.packets_sent += 1;
+        if let Some(m) = &self.obs {
+            m.packets.inc();
+            m.bytes.add((pkt.size + WIRE_OVERHEAD_BYTES) as u64);
+            m.tx_wait.record(tx_start.saturating_sub(now));
+        }
         rx_end
     }
 
@@ -131,10 +158,7 @@ mod tests {
     fn unloaded_transfer_hits_base_latency() {
         let mut n = NetModel::new(2, 10.0);
         let arrival = n.transfer(SimTime::from_us(10), &pkt(0, 1, 512));
-        assert_eq!(
-            arrival,
-            SimTime::from_us(10) + n.base_latency(512),
-        );
+        assert_eq!(arrival, SimTime::from_us(10) + n.base_latency(512),);
     }
 
     #[test]
@@ -184,5 +208,19 @@ mod tests {
     fn loopback_rejected() {
         let mut n = NetModel::new(2, 10.0);
         n.transfer(SimTime::ZERO, &pkt(0, 0, 64));
+    }
+
+    #[test]
+    fn attached_registry_sees_link_traffic() {
+        let reg = Registry::new();
+        let mut n = NetModel::new(2, 10.0);
+        n.attach_obs(&reg);
+        n.transfer(SimTime::ZERO, &pkt(0, 1, 1000));
+        n.transfer(SimTime::ZERO, &pkt(0, 1, 1000)); // backs up on egress
+        assert_eq!(reg.counter("net.packets").get(), 2);
+        assert_eq!(reg.counter("net.bytes").get(), n.bytes_sent());
+        let wait = reg.hist("net.tx_wait");
+        assert_eq!(wait.count(), 2);
+        assert!(wait.max() >= n.wire_time(1000), "second frame waited");
     }
 }

@@ -244,6 +244,6 @@ mod tests {
         let l4 = MD5.latency(4).as_us_f64();
         assert!(l4 < 5.0 && l4 > 3.1, "l4={l4}");
         let l16 = MD5.latency(16).as_us_f64();
-        assert!(l16 < 3.1 && l16 >= 3.0, "l16={l16}");
+        assert!((3.0..3.1).contains(&l16), "l16={l16}");
     }
 }

@@ -3,7 +3,8 @@
 //! the hardware traffic manager's shared queue (Figs 2–5).
 
 use crate::spec::{line_rate_pps, NicKind, NicSpec};
-use ipipe_sim::{DetRng, EventQueue, Histogram, SimTime};
+use ipipe_sim::obs::{Counter, Gauge, HistHandle, Obs};
+use ipipe_sim::{DetRng, EventQueue, SimTime};
 
 /// Per-packet core occupancy when forwarding a frame of `frame` bytes while
 /// also running `extra_proc` of application processing.
@@ -39,8 +40,7 @@ pub fn achievable_gbps(spec: &NicSpec, frame: u32, cores: u32, extra_proc: SimTi
 /// `None` if even all cores cannot (Fig 2: 64/128 B on both cards).
 pub fn cores_for_line_rate(spec: &NicSpec, frame: u32) -> Option<u32> {
     let need = line_rate_pps(spec.link_gbps, frame);
-    (1..=spec.cores)
-        .find(|&c| core_limited_pps(spec, frame, c, SimTime::ZERO) >= need * 0.999)
+    (1..=spec.cores).find(|&c| core_limited_pps(spec, frame, c, SimTime::ZERO) >= need * 0.999)
 }
 
 /// Maximum per-packet application processing latency that still sustains
@@ -94,6 +94,24 @@ pub fn simulate_echo_latency(
     packets: u64,
     seed: u64,
 ) -> EchoLatency {
+    simulate_echo_latency_obs(spec, frame, cores, util, packets, seed, &Obs::disabled())
+}
+
+/// [`simulate_echo_latency`] publishing traffic-manager metrics into `obs`:
+/// the `tm.sojourn` histogram (the figure is rendered from this registry
+/// slot), the `tm.packets` counter, the `tm.queue.peak` gauge (deepest
+/// shared-queue backlog seen), and — at verbose trace level — `tm.depth`
+/// counter-track samples for Perfetto.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_echo_latency_obs(
+    spec: &NicSpec,
+    frame: u32,
+    cores: u32,
+    util: f64,
+    packets: u64,
+    seed: u64,
+    obs: &Obs,
+) -> EchoLatency {
     #[derive(Debug)]
     enum Ev {
         Arrive,
@@ -105,7 +123,10 @@ pub fn simulate_echo_latency(
         busy: u32,
         cores: u32,
         service: SimTime,
-        hist: Histogram,
+        hist: HistHandle,
+        packets_served: Counter,
+        queue_peak: Gauge,
+        obs: Obs,
         remaining: u64,
         rng: DetRng,
         gap_mean: SimTime,
@@ -120,7 +141,10 @@ pub fn simulate_echo_latency(
         busy: 0,
         cores,
         service,
-        hist: Histogram::new(),
+        hist: obs.registry().hist("tm.sojourn"),
+        packets_served: obs.registry().counter("tm.packets"),
+        queue_peak: obs.registry().gauge("tm.queue.peak"),
+        obs: obs.clone(),
         remaining: packets,
         rng: DetRng::new(seed),
         gap_mean: SimTime::from_secs_f64(1.0 / rate),
@@ -135,6 +159,11 @@ pub fn simulate_echo_latency(
                 if st.remaining > 0 {
                     st.remaining -= 1;
                     st.queue.push_back(now);
+                    if st.queue.len() as i64 > st.queue_peak.get() {
+                        st.queue_peak.set(st.queue.len() as i64);
+                    }
+                    st.obs
+                        .sample("tm", "tm.depth", 0, now, st.queue.len() as i64);
                     let gap = st.rng.exp(st.gap_mean);
                     if st.remaining > 0 {
                         q.schedule_after(gap, Ev::Arrive);
@@ -145,11 +174,14 @@ pub fn simulate_echo_latency(
                 st.busy -= 1;
                 let arr = st.done_after_pop.remove(0);
                 st.hist.record(now.saturating_sub(arr));
+                st.packets_served.inc();
             }
         }
         // Start service on any idle core.
         while st.busy < st.cores {
-            let Some(arr) = st.queue.pop_front() else { break };
+            let Some(arr) = st.queue.pop_front() else {
+                break;
+            };
             st.busy += 1;
             st.done_after_pop.push(arr);
             q.schedule_after(st.service, Ev::Done);
@@ -239,7 +271,10 @@ mod tests {
 
     #[test]
     fn off_path_sync_cost_grows_with_cores() {
-        assert_eq!(dequeue_sync_cost(&CN2350, 4), dequeue_sync_cost(&CN2350, 12));
+        assert_eq!(
+            dequeue_sync_cost(&CN2350, 4),
+            dequeue_sync_cost(&CN2350, 12)
+        );
         assert!(dequeue_sync_cost(&STINGRAY_PS225, 8) > dequeue_sync_cost(&STINGRAY_PS225, 2));
     }
 

@@ -21,12 +21,14 @@
 //! ```
 
 pub mod event;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
 pub mod time;
 
 pub use event::{EventQueue, HeapEventQueue};
+pub use obs::{Obs, ObsConfig, TraceLevel};
 pub use rng::DetRng;
 pub use stats::{Ewma, Histogram, TailEstimator, Welford};
 pub use time::SimTime;

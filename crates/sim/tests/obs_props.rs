@@ -1,0 +1,120 @@
+//! Property tests for the observability layer: merging per-worker registry
+//! snapshots — as the parallel sweep runner does — must be order-independent,
+//! and exports must be a pure function of registry state.
+
+use ipipe_sim::obs::{Obs, Snapshot, TraceLevel};
+use ipipe_sim::sweep::parallel_sweep;
+use ipipe_sim::SimTime;
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["sched.exec", "net.bytes", "rt.ring.push", "mig.total"];
+
+/// One synthetic worker registry, derived deterministically from a
+/// compact op list.
+#[derive(Debug, Clone)]
+struct WorkerOps {
+    counter_adds: Vec<(u8, u16, u64)>,
+    gauge_adds: Vec<(u8, u16, i32)>,
+    hist_samples: Vec<(u8, u16, u32)>,
+}
+
+fn worker_ops() -> impl Strategy<Value = WorkerOps> {
+    (
+        prop::collection::vec((0u8..4, 0u16..3, 0u64..1 << 40), 0..12),
+        prop::collection::vec((0u8..4, 0u16..3, -1000i32..1000), 0..12),
+        prop::collection::vec((0u8..4, 0u16..3, 1u32..1 << 30), 0..12),
+    )
+        .prop_map(|(counter_adds, gauge_adds, hist_samples)| WorkerOps {
+            counter_adds,
+            gauge_adds,
+            hist_samples,
+        })
+}
+
+fn materialize(ops: &WorkerOps) -> Snapshot {
+    let obs = Obs::disabled();
+    for &(n, node, v) in &ops.counter_adds {
+        obs.registry().counter_on(NAMES[n as usize], node).add(v);
+    }
+    for &(n, node, v) in &ops.gauge_adds {
+        obs.registry()
+            .gauge_on(NAMES[n as usize], node)
+            .adjust(v as i64);
+    }
+    for &(n, node, ns) in &ops.hist_samples {
+        obs.registry()
+            .hist_on(NAMES[n as usize], node)
+            .record(SimTime::from_ns(ns as u64));
+    }
+    obs.snapshot()
+}
+
+fn fold(parts: &[Snapshot]) -> String {
+    let mut acc = Snapshot::default();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc.to_jsonl()
+}
+
+proptest! {
+    /// Folding worker snapshots in any order yields the same totals,
+    /// quantiles and (therefore) the same JSONL bytes.
+    #[test]
+    fn snapshot_merge_is_order_independent(
+        workers in prop::collection::vec(worker_ops(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let parts: Vec<Snapshot> = workers.iter().map(materialize).collect();
+        let forward = fold(&parts);
+
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        prop_assert_eq!(&forward, &fold(&reversed));
+
+        // A seeded shuffle (Fisher–Yates on a SplitMix-style stream) to
+        // exercise arbitrary permutations, not just reversal.
+        let mut shuffled = parts.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(&forward, &fold(&shuffled));
+    }
+
+    /// Merging through the real sweep runner with different worker counts
+    /// produces identical merged registries.
+    #[test]
+    fn sweep_registry_merge_is_worker_count_invariant(
+        workers in prop::collection::vec(worker_ops(), 1..5),
+    ) {
+        let run = |nworkers| {
+            let parts = parallel_sweep(&workers, nworkers, |_, ops| materialize(ops));
+            fold(&parts)
+        };
+        prop_assert_eq!(run(1), run(4));
+    }
+}
+
+#[test]
+fn trace_export_is_deterministic_across_runs() {
+    let run = || {
+        let obs = Obs::with_level(TraceLevel::Verbose);
+        for i in 0..100u64 {
+            obs.span(
+                "nic",
+                "exec",
+                (i % 3) as u16,
+                (i % 4) as u32,
+                SimTime::from_ns(i * 17),
+                SimTime::from_ns(i * 17 + 5),
+                Some(("actor", (i % 8) as i64)),
+            );
+            obs.registry().counter("spans").inc();
+        }
+        (obs.export_jsonl(), obs.export_chrome())
+    };
+    assert_eq!(run(), run());
+}

@@ -148,7 +148,9 @@ impl YcsbWorkload {
         match self.mix {
             YcsbMix::A => {
                 if self.rng.chance(0.5) {
-                    YcsbOp::Read { key: self.zipf_key() }
+                    YcsbOp::Read {
+                        key: self.zipf_key(),
+                    }
                 } else {
                     YcsbOp::Update {
                         key: self.zipf_key(),
@@ -158,7 +160,9 @@ impl YcsbWorkload {
             }
             YcsbMix::B => {
                 if self.rng.chance(0.95) {
-                    YcsbOp::Read { key: self.zipf_key() }
+                    YcsbOp::Read {
+                        key: self.zipf_key(),
+                    }
                 } else {
                     YcsbOp::Update {
                         key: self.zipf_key(),
@@ -166,10 +170,14 @@ impl YcsbWorkload {
                     }
                 }
             }
-            YcsbMix::C => YcsbOp::Read { key: self.zipf_key() },
+            YcsbMix::C => YcsbOp::Read {
+                key: self.zipf_key(),
+            },
             YcsbMix::D => {
                 if self.rng.chance(0.95) {
-                    YcsbOp::Read { key: self.latest_key() }
+                    YcsbOp::Read {
+                        key: self.latest_key(),
+                    }
                 } else {
                     self.insert()
                 }
@@ -186,7 +194,9 @@ impl YcsbWorkload {
             }
             YcsbMix::F => {
                 if self.rng.chance(0.5) {
-                    YcsbOp::Read { key: self.zipf_key() }
+                    YcsbOp::Read {
+                        key: self.zipf_key(),
+                    }
                 } else {
                     YcsbOp::ReadModifyWrite {
                         key: self.zipf_key(),
@@ -240,7 +250,7 @@ mod tests {
         for _ in 0..5_000 {
             if let YcsbOp::Scan { len, .. } = w.next_op() {
                 scans += 1;
-                assert!(len >= 1 && len <= 100);
+                assert!((1..=100).contains(&len));
             }
         }
         assert!(scans > 4_000);

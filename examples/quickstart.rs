@@ -25,7 +25,7 @@ impl ActorLogic for CounterActor {
         let mut dmo = ctx.dmo();
         let n = dmo.read_u64(cell, 0).unwrap();
         dmo.write_u64(cell, 0, n + 1).unwrap();
-        drop(dmo);
+        let _ = dmo;
         ctx.charge_work(800); // modeled handler cost beyond the DMO traffic
         ctx.reply(req, 64, None);
     }
@@ -37,19 +37,34 @@ impl ActorLogic for CounterActor {
 
 fn main() {
     // One server with a LiquidIOII CN2350 + one client machine.
-    let mut cluster = Cluster::builder(CN2350).servers(1).clients(1).seed(7).build();
-    let counter = cluster.register_actor(0, "counter", Box::new(CounterActor { cell: None }), Placement::Nic);
+    let mut cluster = Cluster::builder(CN2350)
+        .servers(1)
+        .clients(1)
+        .seed(7)
+        .build();
+    let counter = cluster.register_actor(
+        0,
+        "counter",
+        Box::new(CounterActor { cell: None }),
+        Placement::Nic,
+    );
 
     // 16 outstanding 256-byte requests for 10 ms of simulated time.
     cluster.run_closed_loop(counter, 16, 256, SimTime::from_ms(10));
 
     let done = cluster.completions().count();
     println!("completed requests : {done}");
-    println!("throughput         : {:.2} Mrps", cluster.throughput_rps() / 1e6);
+    println!(
+        "throughput         : {:.2} Mrps",
+        cluster.throughput_rps() / 1e6
+    );
     println!("mean latency       : {}", cluster.completions().mean());
     println!("p99 latency        : {}", cluster.completions().p99());
     println!("actor placement    : {:?}", cluster.actor_location(counter));
     println!("host cores used    : {:.3}", cluster.host_cores_used(0));
     println!("NIC cores used     : {:.3}", cluster.nic_cores_used(0));
-    assert!(done > 1_000, "the simulated testbed should push >1k requests");
+    assert!(
+        done > 1_000,
+        "the simulated testbed should push >1k requests"
+    );
 }
