@@ -2,13 +2,44 @@
 //! replicated group across cluster nodes.
 
 use super::lsm::{Key, Levels, KEY_LEN};
-use super::paxos::{NodeIdx, PaxosMsg, PaxosNode, Role};
+use super::paxos::{NodeIdx, PaxosMsg, PaxosNode, Role, Slot};
 use ipipe::prelude::*;
-use ipipe::rt::Cluster;
+use ipipe::rt::{Cluster, Redirect};
 use ipipe::skiplist::DmoSkipList;
+use ipipe_sim::obs::{Counter, Gauge};
 use ipipe_workload::kv::KvOp;
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+
+/// Failure-detector tuning: the leader multicasts a heartbeat every
+/// `interval`; a follower that hears nothing from the leader for its
+/// effective timeout (`timeout + interval * replica`, staggered so the
+/// lowest-index survivor campaigns first) starts a two-phase election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatCfg {
+    /// Leader heartbeat period.
+    pub interval: SimTime,
+    /// Base silence threshold before a follower campaigns.
+    pub timeout: SimTime,
+}
+
+impl HeartbeatCfg {
+    /// Defaults sized for the simulated rack: 200µs beacons, campaign after
+    /// 800µs of leader silence (4 missed beacons).
+    pub fn lan_default() -> HeartbeatCfg {
+        HeartbeatCfg {
+            interval: SimTime::from_us(200),
+            timeout: SimTime::from_us(800),
+        }
+    }
+}
+
+/// Client writes a non-leader replica will buffer while an election is in
+/// flight; past this the replica sheds load with a [`Redirect`] instead of
+/// queueing unboundedly (the failover window is short — a deep buffer only
+/// hides the redirect signal from clients).
+pub const PENDING_CAP: usize = 64;
 
 /// Messages flowing between RKV actors.
 pub enum RkvMsg {
@@ -21,6 +52,16 @@ pub enum RkvMsg {
         /// Protocol message.
         msg: PaxosMsg,
     },
+    /// Leader liveness beacon, carrying the leader's commit frontier so
+    /// lagging followers can request Learn catch-up.
+    Heartbeat {
+        /// Sending replica (the leader).
+        from: NodeIdx,
+        /// Leader's commit frontier.
+        frontier: Slot,
+    },
+    /// Self-addressed failure-detector timer tick.
+    HbTick,
     /// Committed write applied to the Memtable.
     Apply {
         /// Key.
@@ -114,8 +155,26 @@ pub struct ConsensusActor {
     replica: NodeIdx,
     wiring: Wiring,
     /// Client writes that arrived while this replica was not the leader —
-    /// proposed as soon as leadership is won (the failover window).
+    /// proposed as soon as leadership is won (the failover window). Bounded
+    /// by [`PENDING_CAP`]; overflow is shed with a [`Redirect`].
     pending: Vec<(u64, Address, Key, Vec<u8>)>,
+    /// Failure-detector config; `None` (the default) disables heartbeats so
+    /// fault-free deployments stay byte-identical to earlier builds.
+    heartbeat: Option<HeartbeatCfg>,
+    /// Last time we heard from any peer replica (liveness evidence).
+    last_heard: SimTime,
+    /// Tokens already applied to the memtable — retransmitted commands that
+    /// re-committed into a second slot are absorbed here (exactly-once).
+    applied_tokens: HashSet<u64>,
+    /// Leader-side token → slot for in-flight proposals, so a client
+    /// retransmission re-drives the existing round instead of burning a
+    /// fresh slot.
+    inflight_tokens: HashMap<u64, Slot>,
+    /// `rkv.buffered_writes` gauge mirroring `pending.len()`.
+    buffered: Option<Gauge>,
+    /// `rkv.dup.commits`: retransmitted commands that re-committed into a
+    /// second slot and were absorbed at apply time (exactly-once evidence).
+    dup_commits: Option<Counter>,
 }
 
 impl ConsensusActor {
@@ -126,6 +185,50 @@ impl ConsensusActor {
             replica,
             wiring,
             pending: Vec::new(),
+            heartbeat: None,
+            last_heard: SimTime::ZERO,
+            applied_tokens: HashSet::new(),
+            inflight_tokens: HashMap::new(),
+            buffered: None,
+            dup_commits: None,
+        }
+    }
+
+    /// Enable the heartbeat failure detector.
+    pub fn with_heartbeat(mut self, cfg: Option<HeartbeatCfg>) -> ConsensusActor {
+        self.heartbeat = cfg;
+        self
+    }
+
+    /// Attach the `rkv.buffered_writes` gauge.
+    pub fn with_buffered_gauge(mut self, g: Gauge) -> ConsensusActor {
+        self.buffered = Some(g);
+        self
+    }
+
+    /// Attach the `rkv.dup.commits` counter.
+    pub fn with_dup_counter(mut self, c: Counter) -> ConsensusActor {
+        self.dup_commits = Some(c);
+        self
+    }
+
+    fn set_buffered_gauge(&self) {
+        if let Some(g) = &self.buffered {
+            g.set(self.pending.len() as i64);
+        }
+    }
+
+    /// Silence threshold for this replica: staggered by index so the
+    /// lowest-index live follower campaigns first instead of all followers
+    /// dueling with colliding ballots.
+    fn effective_timeout(&self, cfg: HeartbeatCfg) -> SimTime {
+        cfg.timeout + cfg.interval * self.replica as u64
+    }
+
+    fn self_addr(&self, ctx: &ActorCtx<'_>) -> Address {
+        Address {
+            node: ctx.node(),
+            actor: ctx.actor_id(),
         }
     }
 
@@ -135,10 +238,20 @@ impl ConsensusActor {
             return;
         }
         for (token, client, key, value) in std::mem::take(&mut self.pending) {
+            if self.applied_tokens.contains(&token) {
+                // A retransmission already committed this write through
+                // another path; just answer the client.
+                ctx.reply_to(client, 64, token, None);
+                continue;
+            }
             let cmd = encode_cmd(token, client, &key, Some(&value));
-            let outs = self.paxos.propose(cmd);
+            let (slot, outs) = self.paxos.propose_tracked(cmd);
+            if let Some(s) = slot {
+                self.inflight_tokens.insert(token, s);
+            }
             self.ship(ctx, token, outs);
         }
+        self.set_buffered_gauge();
     }
 
     /// Leader status (for tests/harness).
@@ -184,6 +297,19 @@ impl ConsensusActor {
                 continue;
             };
             ctx.charge_work(250);
+            self.inflight_tokens.remove(&token);
+            if !self.applied_tokens.insert(token) {
+                // A retransmitted command that re-committed into a second
+                // slot: apply exactly once, but still re-answer the client —
+                // it only retried because the first reply was lost.
+                if let Some(c) = &self.dup_commits {
+                    c.inc();
+                }
+                if leader {
+                    ctx.reply_to(client, 64, token, None);
+                }
+                continue;
+            }
             ctx.send(
                 memtable,
                 token,
@@ -202,6 +328,14 @@ impl ActorLogic for ConsensusActor {
     fn init(&mut self, ctx: &mut ActorCtx<'_>) {
         // The RSM log window is DMO-resident.
         let _ = ctx.dmo().malloc(self.state_hint_bytes());
+        if let Some(cfg) = self.heartbeat {
+            self.last_heard = ctx.now();
+            let me = self.self_addr(ctx);
+            // Stagger the first tick by replica index so beacon and check
+            // events interleave deterministically instead of colliding.
+            let first = cfg.interval + SimTime::from_us(self.replica as u64);
+            ctx.send_after(first, me, 0, 0, 0, Some(Box::new(RkvMsg::HbTick)));
+        }
     }
 
     fn exec(&mut self, ctx: &mut ActorCtx<'_>, mut req: Request) {
@@ -227,24 +361,101 @@ impl ActorLogic for ConsensusActor {
                         let client = req.reply_to.expect("client write carries reply address");
                         ctx.charge_work(500); // log append bookkeeping
                         if self.paxos.role() == Role::Leader {
-                            let cmd = encode_cmd(token, client, &key, Some(&value));
-                            let outs = self.paxos.propose(cmd);
-                            self.ship(ctx, token, outs);
-                            self.apply_committed(ctx); // single-replica commits
+                            if self.applied_tokens.contains(&token) {
+                                // Retransmission of a write that already
+                                // committed (the reply was lost): answer
+                                // directly, never re-propose.
+                                ctx.reply_to(client, 64, token, None);
+                            } else if let Some(&slot) = self.inflight_tokens.get(&token) {
+                                // Retransmission of an in-flight proposal:
+                                // re-drive its round instead of burning a
+                                // fresh slot.
+                                let outs = self.paxos.retry_slot(slot);
+                                self.ship(ctx, token, outs);
+                                self.apply_committed(ctx);
+                            } else {
+                                let cmd = encode_cmd(token, client, &key, Some(&value));
+                                let (slot, outs) = self.paxos.propose_tracked(cmd);
+                                if let Some(s) = slot {
+                                    self.inflight_tokens.insert(token, s);
+                                }
+                                self.ship(ctx, token, outs);
+                                self.apply_committed(ctx); // single-replica commits
+                            }
+                        } else if self.pending.len() >= PENDING_CAP {
+                            // Buffer full: shed with a redirect toward the
+                            // best-known leader instead of queueing forever.
+                            let hint = self.paxos.leader_hint();
+                            let target = self.wiring.borrow().consensus[hint as usize];
+                            ctx.reply_to(client, 64, token, Some(Box::new(Redirect(target))));
                         } else {
                             // Not the leader (failover window): buffer and
                             // propose once leadership is won.
                             self.pending.push((token, client, key, value));
+                            self.set_buffered_gauge();
                         }
                     }
                 }
             }
             RkvMsg::Paxos { from, msg } => {
                 ctx.charge_work(900); // protocol state machine
+                self.last_heard = ctx.now(); // any peer traffic is liveness
                 let outs = self.paxos.handle(from, msg);
                 self.ship(ctx, token, outs);
                 self.drain_pending(ctx);
                 self.apply_committed(ctx);
+            }
+            RkvMsg::Heartbeat { from, frontier } => {
+                ctx.charge_work(120);
+                self.last_heard = ctx.now();
+                let mine = self.paxos.commit_frontier();
+                if frontier > mine {
+                    // The leader has decided slots we never learned (lost
+                    // Learns): request catch-up from our frontier.
+                    self.ship(
+                        ctx,
+                        token,
+                        vec![(from, PaxosMsg::LearnReq { from_slot: mine })],
+                    );
+                }
+            }
+            RkvMsg::HbTick => {
+                let Some(cfg) = self.heartbeat else {
+                    return;
+                };
+                // Re-arm first so the timer chain never breaks.
+                let me = self.self_addr(ctx);
+                ctx.send_after(cfg.interval, me, 0, 0, 0, Some(Box::new(RkvMsg::HbTick)));
+                if self.paxos.role() == Role::Leader {
+                    ctx.charge_work(150);
+                    let frontier = self.paxos.commit_frontier();
+                    let peers = self.wiring.borrow().consensus.clone();
+                    for (peer, addr) in peers.into_iter().enumerate() {
+                        if peer as NodeIdx != self.replica {
+                            ctx.send(
+                                addr,
+                                0,
+                                48,
+                                0,
+                                Some(Box::new(RkvMsg::Heartbeat {
+                                    from: self.replica,
+                                    frontier,
+                                })),
+                            );
+                        }
+                    }
+                } else if ctx.now().saturating_sub(self.last_heard) >= self.effective_timeout(cfg) {
+                    // Leader silence past the staggered threshold: campaign
+                    // automatically ("when the leader fails, replicas run a
+                    // two-phase Paxos leader election"). A candidate whose
+                    // election stalled re-campaigns on the next expiry.
+                    ctx.charge_work(1200);
+                    self.last_heard = ctx.now(); // restart the silence clock
+                    let outs = self.paxos.start_election();
+                    self.ship(ctx, token, outs);
+                    self.drain_pending(ctx);
+                    self.apply_committed(ctx);
+                }
             }
             RkvMsg::StartElection => {
                 ctx.charge_work(1200);
@@ -282,6 +493,10 @@ pub struct MemtableActor {
     wiring: Wiring,
     /// Minor compactions triggered.
     pub flushes: u64,
+    /// `rkv.applies`: commands applied to this memtable. With the consensus
+    /// actor's apply-time dedup upstream this counts *unique* committed
+    /// writes — the exactly-once ledger the recovery tests audit.
+    applies: Option<Counter>,
 }
 
 impl MemtableActor {
@@ -294,7 +509,14 @@ impl MemtableActor {
             replica,
             wiring,
             flushes: 0,
+            applies: None,
         }
+    }
+
+    /// Attach the `rkv.applies` counter.
+    pub fn with_applies_counter(mut self, c: Counter) -> MemtableActor {
+        self.applies = Some(c);
+        self
     }
 }
 
@@ -309,6 +531,9 @@ impl ActorLogic for MemtableActor {
         match *msg {
             RkvMsg::Apply { key, value } => {
                 ctx.charge_work(600);
+                if let Some(c) = &self.applies {
+                    c.inc();
+                }
                 let bytes = KEY_LEN as u64 + value.as_ref().map(|v| v.len() as u64).unwrap_or(1);
                 // Deletions are insertions of a tombstone (paper §4).
                 let encoded = match &value {
@@ -501,7 +726,23 @@ pub struct RkvDeployment {
 
 /// Deploy a replicated KV group over `replicas` server nodes.
 /// `memtable_flush` is the Memtable size threshold in bytes.
+///
+/// Heartbeats are off: fault-free runs stay byte-identical to builds that
+/// predate the failure detector. Use [`deploy_rkv_with`] to enable it.
 pub fn deploy_rkv(c: &mut Cluster, replicas: &[usize], memtable_flush: u64) -> RkvDeployment {
+    deploy_rkv_with(c, replicas, memtable_flush, None)
+}
+
+/// [`deploy_rkv`] plus an optional heartbeat failure detector: the leader
+/// beacons every `interval`, silent-leader followers campaign automatically,
+/// and lagging followers pull Learn catch-up off the beacon's commit
+/// frontier — no operator `StartElection` signal needed.
+pub fn deploy_rkv_with(
+    c: &mut Cluster,
+    replicas: &[usize],
+    memtable_flush: u64,
+    heartbeat: Option<HeartbeatCfg>,
+) -> RkvDeployment {
     let n = replicas.len() as u32;
     let wiring: Wiring = Rc::new(RefCell::new(RkvWiring::default()));
     let mut consensus = Vec::new();
@@ -510,18 +751,39 @@ pub fn deploy_rkv(c: &mut Cluster, replicas: &[usize], memtable_flush: u64) -> R
     let mut compaction = Vec::new();
     for (ri, &node) in replicas.iter().enumerate() {
         let levels: SharedLevels = Rc::new(RefCell::new(Levels::leveldb_default()));
-        consensus.push(c.register_actor(
-            node,
-            &format!("rkv-consensus-{ri}"),
-            Box::new(ConsensusActor::new(ri as u32, n, wiring.clone())),
-            Placement::Nic,
-        ));
-        memtable.push(c.register_actor(
-            node,
-            &format!("rkv-memtable-{ri}"),
-            Box::new(MemtableActor::new(ri, wiring.clone(), memtable_flush)),
-            Placement::Nic,
-        ));
+        let gauge = c
+            .obs()
+            .registry()
+            .gauge_on("rkv.buffered_writes", node as u16);
+        let dups = c
+            .obs()
+            .registry()
+            .counter_on("rkv.dup.commits", node as u16);
+        let applies = c.obs().registry().counter_on("rkv.applies", node as u16);
+        consensus.push(
+            c.register_actor(
+                node,
+                &format!("rkv-consensus-{ri}"),
+                Box::new(
+                    ConsensusActor::new(ri as u32, n, wiring.clone())
+                        .with_heartbeat(heartbeat)
+                        .with_buffered_gauge(gauge)
+                        .with_dup_counter(dups),
+                ),
+                Placement::Nic,
+            ),
+        );
+        memtable.push(
+            c.register_actor(
+                node,
+                &format!("rkv-memtable-{ri}"),
+                Box::new(
+                    MemtableActor::new(ri, wiring.clone(), memtable_flush)
+                        .with_applies_counter(applies),
+                ),
+                Placement::Nic,
+            ),
+        );
         sst_read.push(c.register_actor(
             node,
             &format!("rkv-sst-read-{ri}"),
@@ -552,7 +814,9 @@ pub fn deploy_rkv(c: &mut Cluster, replicas: &[usize], memtable_flush: u64) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipipe::rt::ClientReq;
+    use ipipe::actor::Emit;
+    use ipipe::rt::{ClientReq, RetryPolicy};
+    use ipipe_netsim::FaultPlan;
     use ipipe_nicsim::CN2350;
     use ipipe_workload::kv::KvWorkload;
 
@@ -695,6 +959,215 @@ mod tests {
             after > before + 200,
             "post-failover writes must commit through the new leader: {before} -> {after}"
         );
+    }
+
+    /// Deterministic Put for a token, so the client generator and the retry
+    /// machinery's `payload_fn` rebuild identical commands.
+    fn put_for(token: u64) -> KvOp {
+        let mut key = [0u8; KEY_LEN];
+        key[..8].copy_from_slice(&token.to_le_bytes());
+        KvOp::Put {
+            key,
+            value: vec![0xAB; 32],
+        }
+    }
+
+    /// Standalone wiring for driving a `ConsensusActor` outside a cluster.
+    fn test_wiring(n: usize) -> Wiring {
+        let w: Wiring = Rc::new(RefCell::new(RkvWiring::default()));
+        {
+            let mut wm = w.borrow_mut();
+            for i in 0..n {
+                let node = i as u16;
+                wm.consensus.push(Address { node, actor: 0 });
+                wm.memtable.push(Address { node, actor: 1 });
+                wm.sst_read.push(Address { node, actor: 2 });
+                wm.compaction.push(Address { node, actor: 3 });
+            }
+        }
+        w
+    }
+
+    /// Run one message through the actor and return what it emitted.
+    fn exec_once(actor: &mut ConsensusActor, token: u64, msg: RkvMsg) -> Vec<Emit> {
+        let mut dmo = ipipe::dmo::DmoTable::new(ipipe::dmo::Side::Nic, 1 << 20);
+        let mut rng = ipipe_sim::DetRng::new(1);
+        let mut ctx = ActorCtx::new(SimTime::ZERO, 0, 0, &mut dmo, &mut rng);
+        actor.exec(
+            &mut ctx,
+            ipipe::actor::Request {
+                actor: 0,
+                flow: 0,
+                wire_size: 64,
+                arrived: SimTime::ZERO,
+                reply_to: Some(Address { node: 9, actor: 0 }),
+                token,
+                payload: Some(Box::new(msg)),
+            },
+        );
+        ctx.finish().1
+    }
+
+    #[test]
+    fn retransmitted_write_applies_once_but_replies_each_time() {
+        // Single-replica group: proposals commit within the same exec.
+        let mut a = ConsensusActor::new(0, 1, test_wiring(1));
+        let first = exec_once(&mut a, 7, RkvMsg::Client(put_for(7)));
+        let count = |emits: &[Emit]| {
+            (
+                emits
+                    .iter()
+                    .filter(|e| matches!(e, Emit::ToActor { .. }))
+                    .count(),
+                emits
+                    .iter()
+                    .filter(|e| matches!(e, Emit::ToClient { .. }))
+                    .count(),
+            )
+        };
+        assert_eq!(count(&first), (1, 1), "one Apply, one client reply");
+        // The client's reply was lost; it retransmits the same token. The
+        // write must not reach the memtable a second time, but the client
+        // must still be answered (its retry loop would otherwise spin).
+        let second = exec_once(&mut a, 7, RkvMsg::Client(put_for(7)));
+        assert_eq!(count(&second), (0, 1), "dup absorbed, client re-answered");
+    }
+
+    #[test]
+    fn follower_bounds_its_buffer_and_redirects_overflow() {
+        let obs = ipipe_sim::Obs::disabled();
+        let g = obs.registry().gauge_on("rkv.buffered_writes", 1);
+        // Replica 1 of 3 boots as a follower; leader hint is replica 0.
+        let mut a = ConsensusActor::new(1, 3, test_wiring(3)).with_buffered_gauge(g.clone());
+        for t in 0..PENDING_CAP as u64 {
+            let out = exec_once(&mut a, t, RkvMsg::Client(put_for(t)));
+            assert!(out.is_empty(), "writes below the cap buffer silently");
+        }
+        assert_eq!(g.get(), PENDING_CAP as i64);
+        // One past the cap: shed with a redirect toward the hinted leader.
+        let out = exec_once(&mut a, 999, RkvMsg::Client(put_for(999)));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Emit::ToClient { payload, token, .. } => {
+                assert_eq!(*token, 999);
+                let r = payload
+                    .as_ref()
+                    .expect("redirect payload")
+                    .downcast_ref::<Redirect>()
+                    .expect("Redirect type");
+                assert_eq!(r.0, Address { node: 0, actor: 0 });
+            }
+            other => panic!("expected ToClient, got {other:?}"),
+        }
+        assert_eq!(g.get(), PENDING_CAP as i64, "shed writes are not buffered");
+    }
+
+    #[test]
+    fn heartbeat_detector_elects_new_leader_after_crash() {
+        let mut c = Cluster::builder(CN2350)
+            .servers(3)
+            .clients(1)
+            .seed(0xFA11)
+            .build();
+        let dep = deploy_rkv_with(
+            &mut c,
+            &[0, 1, 2],
+            64 * 1024,
+            Some(HeartbeatCfg::lan_default()),
+        );
+        // The client only knows replica 1 (a follower): its writes ride the
+        // buffer/redirect path to the real leader until the crash, and the
+        // heartbeat detector's automatic election after it.
+        let next = dep.consensus[1];
+        c.set_client(
+            0,
+            Box::new(move |rng, token| {
+                let op = put_for(token);
+                ClientReq {
+                    dst: next,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            16,
+        );
+        c.set_client_retry(
+            0,
+            RetryPolicy {
+                timeout: SimTime::from_us(100),
+                cap: SimTime::from_us(400),
+                max_tries: 8,
+            },
+            Some(Box::new(|token| {
+                Some(Box::new(RkvMsg::Client(put_for(token))))
+            })),
+        );
+        // The initial leader's node goes dark at 4ms and stays dark.
+        c.set_fault_plan(FaultPlan::new(0xD1E).with_crash(
+            0,
+            SimTime::from_ms(4),
+            SimTime::from_ms(500),
+        ));
+        c.run_for(SimTime::from_ms(4));
+        let before = c.completions().count();
+        assert!(
+            before > 50,
+            "redirected writes committed pre-crash: {before}"
+        );
+        assert!(
+            c.obs().registry().counter("client.redirects").get() > 0,
+            "the follower shed overflow toward the leader"
+        );
+        // No operator signal from here on: replica 1 must detect the silent
+        // leader, campaign, win with replica 2, and serve the backlog.
+        c.run_for(SimTime::from_ms(12));
+        let after = c.completions().count();
+        assert!(
+            after > before + 200,
+            "writes must flow through the auto-elected leader: {before} -> {after}"
+        );
+        assert_eq!(
+            c.obs().registry().gauge_on("rkv.buffered_writes", 1).get(),
+            0,
+            "the failover drain emptied the pending buffer"
+        );
+    }
+
+    #[test]
+    fn heartbeats_leave_a_healthy_group_undisturbed() {
+        let mut c = Cluster::builder(CN2350)
+            .servers(3)
+            .clients(1)
+            .seed(0xEBB)
+            .build();
+        let dep = deploy_rkv_with(
+            &mut c,
+            &[0, 1, 2],
+            64 * 1024,
+            Some(HeartbeatCfg::lan_default()),
+        );
+        let leader = dep.consensus[0];
+        let mut wl = KvWorkload::paper_default(512, 1);
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let op = wl.next_op();
+                ClientReq {
+                    dst: leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            16,
+        );
+        c.run_for(SimTime::from_ms(10));
+        let done = c.completions().count();
+        assert!(done > 1_000, "done={done}");
+        // Beacons arrive well inside every follower's timeout: nobody
+        // campaigns, so the leader is never deposed and nothing redirects.
+        assert_eq!(c.obs().registry().counter("client.redirects").get(), 0);
     }
 
     #[test]

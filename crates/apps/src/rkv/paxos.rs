@@ -73,6 +73,13 @@ pub enum PaxosMsg {
         /// Chosen value.
         value: Vec<u8>,
     },
+    /// Catch-up: a lagging replica asks a peer to re-send Learns for every
+    /// committed slot at or after `from_slot` (recovers Learn messages lost
+    /// on a lossy link — the heartbeat's commit frontier reveals the gap).
+    LearnReq {
+        /// First slot the requester is missing.
+        from_slot: Slot,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -103,6 +110,9 @@ pub struct PaxosNode {
     /// Merged accepted state gathered during the election.
     election_merge: BTreeMap<Slot, (Ballot, Vec<u8>)>,
     election_from: Slot,
+    /// Best guess at the current leader (`ballot % n` of the last adopted
+    /// ballot) — where to redirect clients that hit a follower.
+    leader_hint: NodeIdx,
 }
 
 impl PaxosNode {
@@ -127,6 +137,7 @@ impl PaxosNode {
             prepare_votes: HashSet::new(),
             election_merge: BTreeMap::new(),
             election_from: 0,
+            leader_hint: 0,
         }
     }
 
@@ -143,6 +154,20 @@ impl PaxosNode {
     /// Current ballot.
     pub fn ballot(&self) -> Ballot {
         self.ballot
+    }
+
+    /// Most recently adopted leader (`ballot % n`); replica 0 until any
+    /// election happens. Used to redirect misrouted clients.
+    pub fn leader_hint(&self) -> NodeIdx {
+        self.leader_hint
+    }
+
+    /// Whether `slot` is locally known to be committed.
+    pub fn is_committed(&self, slot: Slot) -> bool {
+        self.log
+            .get(slot as usize)
+            .map(|e| e.committed)
+            .unwrap_or(false)
     }
 
     /// Number of committed-and-unapplied plus applied slots.
@@ -172,8 +197,15 @@ impl PaxosNode {
     /// Leader: propose a client command. Returns the Accept fan-out (empty
     /// if this replica is not the leader — the caller should redirect).
     pub fn propose(&mut self, value: Vec<u8>) -> Vec<(NodeIdx, PaxosMsg)> {
+        self.propose_tracked(value).1
+    }
+
+    /// [`propose`](Self::propose), but also reporting the slot chosen, so
+    /// the caller can map a client token to its log position and re-drive
+    /// the round on retransmission instead of burning a fresh slot.
+    pub fn propose_tracked(&mut self, value: Vec<u8>) -> (Option<Slot>, Vec<(NodeIdx, PaxosMsg)>) {
         if self.role != Role::Leader {
-            return Vec::new();
+            return (None, Vec::new());
         }
         // Never propose into slots that are already decided locally.
         self.next_slot = self.next_slot.max(self.commit_frontier());
@@ -185,6 +217,51 @@ impl PaxosNode {
         e.value = Some(value.clone());
         self.accept_votes.entry(slot).or_default().insert(self.id);
         self.maybe_commit(slot); // single-replica groups commit immediately
+        let out = self
+            .others()
+            .map(|p| {
+                (
+                    p,
+                    PaxosMsg::Accept {
+                        ballot,
+                        slot,
+                        value: value.clone(),
+                    },
+                )
+            })
+            .collect();
+        (Some(slot), out)
+    }
+
+    /// Leader: re-drive the round for a slot whose messages may have been
+    /// lost. Uncommitted slots get a fresh Accept fan-out under the current
+    /// ballot; committed slots get their Learn round re-disseminated.
+    pub fn retry_slot(&mut self, slot: Slot) -> Vec<(NodeIdx, PaxosMsg)> {
+        if self.role != Role::Leader {
+            return Vec::new();
+        }
+        let Some(value) = self.log.get(slot as usize).and_then(|e| e.value.clone()) else {
+            return Vec::new();
+        };
+        if self.is_committed(slot) {
+            return self
+                .others()
+                .map(|p| {
+                    (
+                        p,
+                        PaxosMsg::Learn {
+                            slot,
+                            value: value.clone(),
+                        },
+                    )
+                })
+                .collect();
+        }
+        // Re-stamp with the current ballot (safe: phase 2 under a ballot we
+        // hold the promise for) and re-run the accept round.
+        let ballot = self.ballot;
+        self.entry(slot).accepted_ballot = Some(ballot);
+        self.accept_votes.entry(slot).or_default().insert(self.id);
         self.others()
             .map(|p| {
                 (
@@ -291,6 +368,7 @@ impl PaxosNode {
                 let mut accepted = Vec::new();
                 if ok {
                     self.promised = ballot;
+                    self.leader_hint = (ballot % self.n as u64) as NodeIdx;
                     if self.role == Role::Leader {
                         self.role = Role::Follower; // deposed
                     }
@@ -334,6 +412,7 @@ impl PaxosNode {
                 // "choose the next available log instance and learn accepted
                 // values from other replicas if its log has gaps").
                 self.role = Role::Leader;
+                self.leader_hint = self.id;
                 self.next_slot = self.next_slot.max(self.election_from);
                 let mut out = Vec::new();
                 let max_slot = self.election_merge.keys().next_back().copied();
@@ -398,6 +477,7 @@ impl PaxosNode {
                 let ok = ballot >= self.promised;
                 if ok {
                     self.promised = ballot;
+                    self.leader_hint = (ballot % self.n as u64) as NodeIdx;
                     if self.role != Role::Follower && ballot != self.ballot {
                         self.role = Role::Follower;
                     }
@@ -405,10 +485,33 @@ impl PaxosNode {
                     e.accepted_ballot = Some(ballot);
                     e.value = Some(value);
                 }
-                vec![(from, PaxosMsg::Accepted { ballot, slot, ok })]
+                // A rejection must carry the *promised* ballot, not echo the
+                // proposer's: a leader deposed while partitioned away can
+                // only learn of the new regime from this reply.
+                let reply_ballot = if ok { ballot } else { self.promised };
+                vec![(
+                    from,
+                    PaxosMsg::Accepted {
+                        ballot: reply_ballot,
+                        slot,
+                        ok,
+                    },
+                )]
             }
             PaxosMsg::Accepted { ballot, slot, ok } => {
-                if self.role != Role::Leader || ballot != self.ballot || !ok {
+                if !ok {
+                    // The acceptor promised a higher ballot: we were deposed
+                    // without hearing the Prepare (crash/partition window).
+                    // Step down so stale re-proposals stop and clients get
+                    // redirected toward the real leader.
+                    if self.role == Role::Leader && ballot > self.ballot {
+                        self.promised = self.promised.max(ballot);
+                        self.leader_hint = (ballot % self.n as u64) as NodeIdx;
+                        self.role = Role::Follower;
+                    }
+                    return Vec::new();
+                }
+                if self.role != Role::Leader || ballot != self.ballot {
                     return Vec::new();
                 }
                 self.accept_votes.entry(slot).or_default().insert(from);
@@ -436,6 +539,21 @@ impl PaxosNode {
                 e.value = Some(value);
                 e.committed = true;
                 Vec::new()
+            }
+            PaxosMsg::LearnReq { from_slot } => {
+                // Re-send Learns for every committed slot we still hold at or
+                // after the requester's frontier (truncated slots are below
+                // its frontier by definition, so the gap is always servable).
+                let mut out = Vec::new();
+                for s in from_slot..self.log.len() as u64 {
+                    let e = &self.log[s as usize];
+                    if e.committed {
+                        if let Some(v) = e.value.clone() {
+                            out.push((from, PaxosMsg::Learn { slot: s, value: v }));
+                        }
+                    }
+                }
+                out
             }
         }
     }
@@ -612,6 +730,102 @@ mod tests {
     }
 
     #[test]
+    fn learn_req_backfills_a_lagging_replica() {
+        let mut nodes = group(3);
+        // Commit 5 commands, but replica 2 never hears the Learn round (it
+        // still votes Accept, so entries are accepted-not-committed there).
+        let mut q = VecDeque::new();
+        for i in 0..5u32 {
+            for (to, m) in nodes[0].propose(format!("v{i}").into_bytes()) {
+                q.push_back((0, to, m));
+            }
+        }
+        while let Some((from, to, msg)) = q.pop_front() {
+            if to == 2 && matches!(msg, PaxosMsg::Learn { .. }) {
+                continue; // lossy link eats every Learn toward replica 2
+            }
+            for (dst, m) in nodes[to as usize].handle(from, msg) {
+                q.push_back((to, dst, m));
+            }
+        }
+        assert_eq!(nodes[0].commit_frontier(), 5);
+        assert_eq!(nodes[2].commit_frontier(), 0, "Learns were all lost");
+        // Catch-up: replica 2 asks the leader from its frontier.
+        let from_slot = nodes[2].commit_frontier();
+        for (to, m) in nodes[0].handle(2, PaxosMsg::LearnReq { from_slot }) {
+            assert_eq!(to, 2);
+            nodes[2].handle(0, m);
+        }
+        assert_eq!(nodes[2].commit_frontier(), 5);
+        assert_eq!(nodes[0].drain_committed(), nodes[2].drain_committed());
+    }
+
+    #[test]
+    fn retry_slot_redrives_a_lost_accept_round() {
+        let mut nodes = group(3);
+        // Both Accepts are lost: the slot stays uncommitted on the leader.
+        let out = nodes[0].propose(b"flaky".to_vec());
+        assert_eq!(out.len(), 2);
+        assert!(!nodes[0].is_committed(0));
+        // Timeout fires; the retried round goes through.
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[0].retry_slot(0) {
+            q.push_back((0, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        assert!(nodes[0].is_committed(0));
+        assert_eq!(nodes[1].drain_committed(), vec![(0, b"flaky".to_vec())]);
+        // Retrying a committed slot re-disseminates Learns, not Accepts.
+        assert!(nodes[0]
+            .retry_slot(0)
+            .iter()
+            .all(|(_, m)| matches!(m, PaxosMsg::Learn { .. })));
+        // Followers never retry.
+        assert!(nodes[1].retry_slot(0).is_empty());
+    }
+
+    #[test]
+    fn stale_leader_steps_down_on_rejected_accept() {
+        let mut nodes = group(3);
+        // Replica 0 is partitioned away while 1 wins an election with 2 —
+        // 0 never hears the Prepare, so it still believes it leads.
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[1].start_election() {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        assert_eq!(nodes[1].role(), Role::Leader);
+        assert_eq!(nodes[0].role(), Role::Leader, "0 missed the election");
+        // The partition heals and 0 proposes: the rejections it gets back
+        // carry the higher promise and depose it.
+        for (to, m) in nodes[0].propose(b"stale".to_vec()) {
+            for (back, r) in nodes[to as usize].handle(0, m) {
+                assert_eq!(back, 0);
+                nodes[0].handle(to, r);
+            }
+        }
+        assert_eq!(nodes[0].role(), Role::Follower, "rejection must depose");
+        assert_eq!(nodes[0].leader_hint(), 1);
+        // The stale value never committed anywhere.
+        assert!(nodes[1].drain_committed().is_empty());
+        assert!(nodes[2].drain_committed().is_empty());
+    }
+
+    #[test]
+    fn leader_hint_follows_elections() {
+        let mut nodes = group(3);
+        assert_eq!(nodes[2].leader_hint(), 0, "replica 0 leads at boot");
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[1].start_election() {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        for nd in &nodes {
+            assert_eq!(nd.leader_hint(), 1, "node {}", nd.id());
+        }
+    }
+
+    #[test]
     fn five_replica_group_survives_two_failures() {
         let mut nodes = group(5);
         let mut q = VecDeque::new();
@@ -632,5 +846,76 @@ mod tests {
         assert_eq!(c3.len(), 2);
         assert_eq!(c3[0].1, b"a");
         assert_eq!(c3[1].1, b"b");
+    }
+
+    /// Deliver in-flight messages, independently dropping each with
+    /// probability `loss` (seeded, so failures replay exactly).
+    fn pump_lossy(
+        nodes: &mut [PaxosNode],
+        queue: &mut VecDeque<(NodeIdx, NodeIdx, PaxosMsg)>,
+        rng: &mut ipipe_sim::DetRng,
+        loss: f64,
+    ) {
+        while let Some((from, to, msg)) = queue.pop_front() {
+            if rng.chance(loss) {
+                continue;
+            }
+            for (dst, m) in nodes[to as usize].handle(from, msg) {
+                queue.push_back((to, dst, m));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+
+        /// Satellite: a 3-replica group reaches identical consensus on every
+        /// replica under seeded message loss up to 10%, given the recovery
+        /// moves the runtime performs (leader retransmit on timeout, follower
+        /// LearnReq catch-up driven by the heartbeat commit frontier).
+        #[test]
+        fn three_replicas_converge_under_seeded_loss(
+            seed in proptest::prelude::any::<u64>(),
+            loss_pct in 1u32..11,
+            n_cmds in 1usize..24,
+        ) {
+            let loss = loss_pct as f64 / 100.0;
+            let mut rng = ipipe_sim::DetRng::new(seed);
+            let mut nodes = group(3);
+            let mut q = VecDeque::new();
+            for i in 0..n_cmds {
+                for (to, m) in nodes[0].propose(vec![i as u8; 8]) {
+                    q.push_back((0, to, m));
+                }
+            }
+            let target = n_cmds as u64;
+            let mut rounds = 0;
+            while !nodes.iter().all(|nd| nd.commit_frontier() >= target) {
+                rounds += 1;
+                proptest::prop_assert!(rounds < 400, "no convergence in 400 rounds");
+                // Leader re-drives undecided slots (the timeout path)...
+                for s in 0..target {
+                    if !nodes[0].is_committed(s) {
+                        for (to, m) in nodes[0].retry_slot(s) {
+                            q.push_back((0, to, m));
+                        }
+                    }
+                }
+                // ...and lagging followers ask for committed slots they
+                // missed (the heartbeat-frontier path).
+                for i in 1..3u32 {
+                    let f = nodes[i as usize].commit_frontier();
+                    if f < target {
+                        q.push_back((i, 0, PaxosMsg::LearnReq { from_slot: f }));
+                    }
+                }
+                pump_lossy(&mut nodes, &mut q, &mut rng, loss);
+            }
+            let expect: Vec<(Slot, Vec<u8>)> =
+                (0..n_cmds).map(|i| (i as u64, vec![i as u8; 8])).collect();
+            for nd in nodes.iter_mut() {
+                proptest::prop_assert_eq!(nd.drain_committed(), expect.clone());
+            }
+        }
     }
 }

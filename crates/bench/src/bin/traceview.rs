@@ -1,7 +1,7 @@
 //! Run a traced scenario and summarize its observability output.
 //!
 //! ```text
-//! cargo run --release --bin traceview -- [--scenario rkv|fig16] \
+//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|fig16] \
 //!     [--seed N] [--verbose] [--out DIR]
 //! ```
 //!
@@ -14,6 +14,7 @@ use ipipe::rt::{ClientReq, Cluster, RuntimeMode};
 use ipipe::sched::Discipline;
 use ipipe_apps::rkv::actors::{deploy_rkv, RkvMsg};
 use ipipe_baseline::fig16::run_fig16_obs;
+use ipipe_bench::fault::run_rkv_fault;
 use ipipe_bench::render_table;
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::{Obs, TraceKind, TraceLevel};
@@ -50,7 +51,7 @@ fn parse_opts() -> Opts {
             "--out" => opts.out = Some(args.next().expect("--out needs a directory")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traceview [--scenario rkv|fig16] [--seed N] [--verbose] [--out DIR]"
+                    "usage: traceview [--scenario rkv|rkv-fault|fig16] [--seed N] [--verbose] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -110,8 +111,18 @@ fn main() {
     let obs = Obs::with_level(level);
     match opts.scenario.as_str() {
         "rkv" => run_rkv(opts.seed, &obs),
+        // The fault-injected cluster: 1% seeded loss + a forced leader
+        // crash, recovered by heartbeat election and client retransmission.
+        // The CI determinism job diffs two same-seed runs of this scenario.
+        "rkv-fault" => {
+            let stats = run_rkv_fault(opts.seed, &obs);
+            println!(
+                "rkv-fault: {} writes committed ({} before the leader crash, {} issued)",
+                stats.done, stats.before_crash, stats.issued
+            );
+        }
         "fig16" => run_fig16_cell(opts.seed, &obs),
-        other => panic!("unknown scenario {other:?} (want rkv or fig16)"),
+        other => panic!("unknown scenario {other:?} (want rkv, rkv-fault or fig16)"),
     }
 
     // --- metric summary -------------------------------------------------
@@ -192,6 +203,8 @@ fn main() {
         let chrome = format!("{dir}/chrome.json");
         std::fs::write(&metrics, obs.export_jsonl()).expect("write metrics");
         std::fs::write(&chrome, obs.export_chrome()).expect("write chrome trace");
-        println!("wrote {metrics} and {chrome} (open the latter in Perfetto)");
+        // stderr, so stdout summaries of two same-seed runs with different
+        // --out dirs stay byte-identical (the CI determinism job diffs them).
+        eprintln!("wrote {metrics} and {chrome} (open the latter in Perfetto)");
     }
 }

@@ -8,6 +8,7 @@
 pub mod apps_harness;
 pub mod characterization;
 pub mod evaluation;
+pub mod fault;
 
 /// Render a text table: header row + aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

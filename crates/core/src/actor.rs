@@ -74,6 +74,9 @@ pub enum Emit {
         payload: Payload,
         /// Token threaded through.
         token: u64,
+        /// Hold the message for this long before routing it — the actor
+        /// timer facility (heartbeats, timeouts). Zero sends immediately.
+        after: SimTime,
     },
     /// Reply toward a client (terminates a request's lifecycle).
     ToClient {
@@ -191,6 +194,29 @@ impl<'a> ActorCtx<'a> {
             wire_size,
             payload,
             token,
+            after: SimTime::ZERO,
+        });
+    }
+
+    /// Send a message after a delay — the timer primitive. An actor arms a
+    /// timeout or periodic tick by delay-sending to itself; the runtime
+    /// routes the message when the delay expires.
+    pub fn send_after(
+        &mut self,
+        delay: SimTime,
+        dst: Address,
+        flow: u64,
+        wire_size: u32,
+        token: u64,
+        payload: Payload,
+    ) {
+        self.outbox.push(Emit::ToActor {
+            dst,
+            flow,
+            wire_size,
+            payload,
+            token,
+            after: delay,
         });
     }
 

@@ -48,8 +48,12 @@ pub fn build_headers(h: WqeHeader) -> [u8; HEADER_BYTES] {
     b[28..30].copy_from_slice(&h.src_node.to_be_bytes());
     b[30] = 10;
     b[32..34].copy_from_slice(&h.dst_node.to_be_bytes());
-    // IPv4 header checksum over bytes 14..34.
+    // IPv4 header checksum over bytes 14..34. One's complement has two
+    // zeros; when the computed sum comes out as +0 (0x0000) emit -0
+    // (0xFFFF) instead, the RFC 768/1071 convention, so the field is never
+    // ambiguous with "checksum not computed". Verification folds both to 0.
     let csum = ipv4_checksum(&b[14..34]);
+    let csum = if csum == 0 { 0xFFFF } else { csum };
     b[24..26].copy_from_slice(&csum.to_be_bytes());
     // UDP: src port = flow, dst port = actor, length.
     b[34..36].copy_from_slice(&h.flow.to_be_bytes());
@@ -71,6 +75,12 @@ pub fn parse_headers(b: &[u8]) -> Option<WqeHeader> {
         return None;
     }
     let total_len = u16::from_be_bytes([b[16], b[17]]);
+    // A frame shorter than its own IPv4+UDP headers is garbage; without this
+    // guard `total_len - 28` wraps in release builds and yields a ~64KiB
+    // phantom payload.
+    if total_len < 28 {
+        return None;
+    }
     Some(WqeHeader {
         src_node: u16::from_be_bytes([b[28], b[29]]),
         dst_node: u16::from_be_bytes([b[32], b[33]]),
@@ -255,6 +265,77 @@ mod tests {
         bytes[12] = 0x86; // not IPv4 ethertype
         assert_eq!(parse_headers(&bytes), None);
         assert_eq!(parse_headers(&bytes[..10]), None);
+    }
+
+    #[test]
+    fn negative_zero_checksum_is_emitted_as_all_ones() {
+        // Solve for a dst_node that makes the pre-checksum header words sum
+        // to 0xFFFF, so the computed checksum is +0. The fixed words are
+        // 0x4500 + 0x4011 + 2*0x0A00 = 0x9911, plus total_len (28 for an
+        // empty payload) and src_node.
+        let src = 1u16;
+        let dst = (0xFFFFu32 - 0x9911 - 28 - src as u32) as u16;
+        let h = WqeHeader {
+            src_node: src,
+            dst_node: dst,
+            flow: 7,
+            actor: 3,
+            payload_len: 0,
+        };
+        let bytes = build_headers(h);
+        assert_eq!(
+            u16::from_be_bytes([bytes[24], bytes[25]]),
+            0xFFFF,
+            "+0 must be emitted as -0"
+        );
+        // -0 still verifies and round-trips.
+        assert_eq!(ipv4_checksum(&bytes[14..34]), 0);
+        assert_eq!(parse_headers(&bytes), Some(h));
+    }
+
+    #[test]
+    fn every_single_byte_header_flip_is_rejected() {
+        // The fault injector's corruption guarantee: any one damaged byte in
+        // the IPv4 header makes parse_headers reject the frame (a one-byte
+        // xor can never change a 16-bit word by a multiple of 0xFFFF).
+        let good = build_headers(WqeHeader {
+            src_node: 2,
+            dst_node: 5,
+            flow: 0x1234,
+            actor: 8,
+            payload_len: 300,
+        });
+        for off in 14..34 {
+            for bit in 0..8u8 {
+                let mut b = good;
+                b[off] ^= 1 << bit;
+                assert_eq!(parse_headers(&b), None, "flip at byte {off} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_undersized_frames_rejected() {
+        let good = build_headers(WqeHeader {
+            src_node: 0,
+            dst_node: 1,
+            flow: 1,
+            actor: 1,
+            payload_len: 64,
+        });
+        for cut in [0, 1, 13, 14, 33, 41] {
+            assert_eq!(parse_headers(&good[..cut]), None, "cut={cut}");
+        }
+        // A checksum-valid header claiming total_len < 28 must not wrap
+        // payload_len: rewrite total_len and refresh the checksum.
+        let mut b = good;
+        b[16..18].copy_from_slice(&5u16.to_be_bytes());
+        b[24] = 0;
+        b[25] = 0;
+        let csum = ipv4_checksum(&b[14..34]);
+        b[24..26].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(ipv4_checksum(&b[14..34]), 0, "checksum repaired");
+        assert_eq!(parse_headers(&b), None, "undersized total_len rejected");
     }
 
     #[test]

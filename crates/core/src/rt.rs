@@ -20,7 +20,7 @@ use crate::dmo::{DmoTable, Side};
 use crate::isolate::Watchdog;
 use crate::migrate::{Migration, MigrationDir, MigrationReport};
 use crate::sched::{Action, Loc, NicScheduler, SchedConfig, Work};
-use ipipe_netsim::{NetModel, NodeId, Packet, PacketKind};
+use ipipe_netsim::{Delivery, FaultPlan, NetModel, NodeId, Packet, PacketKind};
 use ipipe_nicsim::dma::{DmaEngine, DmaOp};
 use ipipe_nicsim::host::HostCpuAccounting;
 use ipipe_nicsim::spec::{HostSpec, NicSpec, HOST_XEON};
@@ -70,6 +70,58 @@ pub struct ClientReq {
 
 /// Closed-loop client request generator.
 pub type ClientGenFn = Box<dyn FnMut(&mut DetRng, u64) -> ClientReq>;
+
+/// Rebuilds the payload of a request identified by its token, so the client
+/// can retransmit it (payloads are `Box<dyn Any>` and not clonable; the
+/// application keeps whatever it needs to reconstruct them).
+pub type PayloadFn = Box<dyn FnMut(u64) -> Payload>;
+
+/// Reply payload a server sends to bounce a request toward another address
+/// (e.g. a non-leader replica shedding writes toward the leader). A client
+/// with retransmission enabled resends the request there immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redirect(pub Address);
+
+/// Client-side retransmission policy: wait `timeout`, resend, double the
+/// wait (capped at `cap`) — classic capped exponential backoff. A request is
+/// abandoned after `max_tries` transmissions so a dead server cannot wedge
+/// the closed loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Wait before the first retransmission.
+    pub timeout: SimTime,
+    /// Upper bound on the doubled backoff.
+    pub cap: SimTime,
+    /// Total transmissions (first send included) before giving up.
+    pub max_tries: u32,
+}
+
+impl RetryPolicy {
+    /// A policy suited to intra-rack RPCs: 300us initial timeout, 5ms cap.
+    pub fn lan_default() -> RetryPolicy {
+        RetryPolicy {
+            timeout: SimTime::from_us(300),
+            cap: SimTime::from_ms(5),
+            max_tries: 16,
+        }
+    }
+}
+
+/// Per-token retransmission state.
+struct RetrySlot {
+    dst: Address,
+    wire_size: u32,
+    flow: u64,
+    tries: u32,
+    backoff: SimTime,
+}
+
+/// Retransmission machinery of one client.
+struct ClientRetry {
+    policy: RetryPolicy,
+    payload_fn: Option<PayloadFn>,
+    slots: HashMap<u64, RetrySlot>,
+}
 
 /// Completion statistics observed at the clients. The latency histogram
 /// lives in the cluster's metrics registry (as `client.latency`), so
@@ -205,8 +257,28 @@ enum Ev {
     RingToNic { node: u16, req: Request },
     /// Advance `node`'s active migration to its next phase.
     MigStep { node: u16 },
+    /// Re-attempt a migration that was aborted because the node was inside
+    /// a crash window; fires once the node has restarted.
+    MigRetry { node: u16, actor: ActorId },
     /// A closed-loop client slot issues its next request.
     Issue { client: u16 },
+    /// A corrupted frame reached `node`'s NIC ingress: the shim stack
+    /// validates and discards it (payload already lost).
+    DeliverCorrupt {
+        node: u16,
+        src: u16,
+        wire_size: u32,
+        flip: u8,
+    },
+    /// A client's retransmission timer fired for `token`.
+    RetryCheck { client: u16, token: u64 },
+    /// A delay-sent actor message (`ActorCtx::send_after`) comes due and
+    /// enters the normal routing path.
+    DelayedEmit {
+        node: u16,
+        emit: Emit,
+        from_nic: bool,
+    },
 }
 
 /// Builder for a [`Cluster`].
@@ -321,6 +393,7 @@ impl ClusterBuilder {
                 done: 0,
                 hist: obs.registry().hist("client.latency"),
             },
+            fault_metrics: FaultMetrics::new(&obs),
             obs,
             rng,
             next_actor: 1,
@@ -338,6 +411,30 @@ struct ClientState {
     next_token: u64,
     inflight: HashMap<u64, SimTime>,
     rng: DetRng,
+    retry: Option<ClientRetry>,
+}
+
+/// Cluster-wide fault/recovery metric handles, resolved once at build time
+/// so faulted and fault-free runs register the same metric names.
+struct FaultMetrics {
+    retries: Counter,
+    abandoned: Counter,
+    redirects: Counter,
+    corrupt_rejected: Counter,
+    mig_aborted: Counter,
+}
+
+impl FaultMetrics {
+    fn new(obs: &Obs) -> FaultMetrics {
+        let r = obs.registry();
+        FaultMetrics {
+            retries: r.counter("client.retry.sent"),
+            abandoned: r.counter("client.retry.abandoned"),
+            redirects: r.counter("client.redirects"),
+            corrupt_rejected: r.counter("fault.rx.rejected"),
+            mig_aborted: r.counter("migrate.aborted"),
+        }
+    }
 }
 
 /// The assembled testbed.
@@ -353,6 +450,7 @@ pub struct Cluster {
     events: EventQueue<Ev>,
     clients: Vec<Option<ClientState>>,
     completions: CompletionStats,
+    fault_metrics: FaultMetrics,
     obs: Obs,
     rng: DetRng,
     next_actor: ActorId,
@@ -420,11 +518,14 @@ impl Cluster {
         let n = &mut self.nodes[node];
         n.dmo.register_region(id, self.region_bytes);
         let now = self.events.now();
-        {
+        let init_emits = {
             let mut ctx = ActorCtx::new(now, id, node as u16, &mut n.dmo, &mut n.rng);
             logic.init(&mut ctx);
-            let _ = ctx.finish(); // init cost is setup-time, not measured
-        }
+            // Init cost is setup-time, not measured; init *messages* are
+            // routed below (timers armed in init must fire).
+            let (_, emits) = ctx.finish();
+            emits
+        };
         let speedup = logic.host_speedup().max(0.1);
         let hint = logic.state_hint_bytes();
         n.sched
@@ -440,6 +541,9 @@ impl Cluster {
                 execs: 0,
             },
         );
+        if !init_emits.is_empty() {
+            self.route_emits(now, node as u16, init_emits, !on_host);
+        }
         Address {
             node: node as u16,
             actor: id,
@@ -457,6 +561,7 @@ impl Cluster {
             next_token: 0,
             inflight: HashMap::new(),
             rng,
+            retry: None,
         });
         for _ in 0..outstanding {
             self.events.schedule_after(
@@ -466,6 +571,39 @@ impl Cluster {
                 },
             );
         }
+    }
+
+    /// Attach a seeded fault schedule to the cluster's network. Call before
+    /// running; the plan's own RNG keeps faulted runs seed-deterministic.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_fault_plan(plan);
+    }
+
+    /// True when `node` is inside a crash window of the attached fault plan.
+    pub fn node_down(&self, node: u16) -> bool {
+        self.net.node_down(node, self.events.now())
+    }
+
+    /// Enable timeout/retransmission on client `client` (must already have a
+    /// generator installed). `payload_fn` rebuilds the payload of a request
+    /// from its token on each retransmission; pass `None` for payload-less
+    /// workloads. Without a retry policy a lost request simply never
+    /// completes — the pre-fault behaviour.
+    pub fn set_client_retry(
+        &mut self,
+        client: usize,
+        policy: RetryPolicy,
+        payload_fn: Option<PayloadFn>,
+    ) {
+        assert!(policy.max_tries >= 1 && policy.timeout > SimTime::ZERO);
+        let state = self.clients[client]
+            .as_mut()
+            .expect("set_client before set_client_retry");
+        state.retry = Some(ClientRetry {
+            policy,
+            payload_fn,
+            slots: HashMap::new(),
+        });
     }
 
     /// Convenience: fixed-size empty-payload closed loop against one actor,
@@ -617,7 +755,141 @@ impl Cluster {
                 self.kick_nic(now, node);
             }
             Ev::MigStep { node } => self.handle_mig_step(now, node),
+            Ev::MigRetry { node, actor } => {
+                let _ = self.force_migrate(Address { node, actor });
+            }
+            Ev::DeliverCorrupt {
+                node,
+                src,
+                wire_size,
+                flip,
+            } => self.handle_deliver_corrupt(node, src, wire_size, flip),
+            Ev::RetryCheck { client, token } => self.handle_retry_check(now, client, token),
+            Ev::DelayedEmit {
+                node,
+                emit,
+                from_nic,
+            } => self.route_emits(now, node, vec![emit], from_nic),
         }
+    }
+
+    /// Send a client request frame over the (possibly faulted) network. A
+    /// delivered frame becomes a `Deliver` event; a corrupted frame becomes
+    /// a `DeliverCorrupt` (payload lost on the wire); a dropped frame
+    /// vanishes — only the retransmission timer can recover it.
+    #[allow(clippy::too_many_arguments)]
+    fn client_send(
+        &mut self,
+        now: SimTime,
+        client_node: u16,
+        dst: Address,
+        flow: u64,
+        wire_size: u32,
+        token: u64,
+        payload: Payload,
+    ) {
+        let pkt = Packet::new(
+            NodeId(client_node),
+            NodeId(dst.node),
+            flow,
+            wire_size,
+            PacketKind::Request,
+        )
+        .stamped(now);
+        match self.net.transfer_checked(now, &pkt) {
+            Delivery::Delivered { at } => {
+                let req = Request {
+                    actor: dst.actor,
+                    flow,
+                    wire_size,
+                    arrived: now,
+                    reply_to: Some(Address {
+                        node: client_node,
+                        actor: 0,
+                    }),
+                    token,
+                    payload,
+                };
+                self.events.schedule_at(
+                    at,
+                    Ev::Deliver {
+                        node: dst.node,
+                        req,
+                    },
+                );
+            }
+            Delivery::Corrupted { at, flip } => {
+                self.events.schedule_at(
+                    at,
+                    Ev::DeliverCorrupt {
+                        node: dst.node,
+                        src: client_node,
+                        wire_size,
+                        flip,
+                    },
+                );
+            }
+            Delivery::Dropped { .. } => {}
+        }
+    }
+
+    /// A damaged frame reached a NIC: run it through the shim stack's real
+    /// header codec, which must reject it. The PKI discards rejected frames
+    /// before core dispatch, so no scheduler work is generated.
+    fn handle_deliver_corrupt(&mut self, node: u16, src: u16, wire_size: u32, flip: u8) {
+        let hdr = crate::nstack::build_headers(crate::nstack::WqeHeader {
+            src_node: src,
+            dst_node: node,
+            flow: 0,
+            actor: 0,
+            payload_len: wire_size.min(u16::MAX as u32) as u16,
+        });
+        let mut damaged = hdr;
+        damaged[14 + flip as usize] ^= 0xFF;
+        debug_assert!(
+            crate::nstack::parse_headers(&damaged).is_none(),
+            "corrupted header must fail validation"
+        );
+        if crate::nstack::parse_headers(&damaged).is_none() {
+            self.fault_metrics.corrupt_rejected.inc();
+        }
+    }
+
+    fn handle_retry_check(&mut self, now: SimTime, client: u16, token: u64) {
+        let client_node = (self.n_servers + client as usize) as u16;
+        let (dst, flow, wire_size, payload, next_wait) = {
+            let Some(state) = self.clients[client as usize].as_mut() else {
+                return;
+            };
+            let Some(retry) = state.retry.as_mut() else {
+                return;
+            };
+            if !state.inflight.contains_key(&token) {
+                // Completed in the meantime; drop the slot if still present.
+                retry.slots.remove(&token);
+                return;
+            }
+            let Some(slot) = retry.slots.get_mut(&token) else {
+                return;
+            };
+            if slot.tries >= retry.policy.max_tries {
+                // Give up so the closed loop keeps breathing.
+                state.inflight.remove(&token);
+                retry.slots.remove(&token);
+                self.fault_metrics.abandoned.inc();
+                self.events
+                    .schedule_after(SimTime::ZERO, Ev::Issue { client });
+                return;
+            }
+            slot.tries += 1;
+            slot.backoff = (slot.backoff * 2).min(retry.policy.cap);
+            let payload = retry.payload_fn.as_mut().and_then(|f| f(token));
+            (slot.dst, slot.flow, slot.wire_size, payload, slot.backoff)
+        };
+        self.fault_metrics.retries.inc();
+        self.client_send(now, client_node, dst, flow, wire_size, token, payload);
+        self.events
+            .schedule_after(next_wait, Ev::RetryCheck { client, token });
     }
 
     fn handle_issue(&mut self, now: SimTime, client: u16) {
@@ -633,34 +905,33 @@ impl Cluster {
         let creq = (state.gen)(&mut state.rng, token);
         state.inflight.insert(token, now);
         self.completions.issued += 1;
-        let pkt = Packet::new(
-            NodeId(client_node),
-            NodeId(creq.dst.node),
+        let mut retry_wait = None;
+        if let Some(retry) = state.retry.as_mut() {
+            retry.slots.insert(
+                token,
+                RetrySlot {
+                    dst: creq.dst,
+                    wire_size: creq.wire_size,
+                    flow: creq.flow,
+                    tries: 1,
+                    backoff: retry.policy.timeout,
+                },
+            );
+            retry_wait = Some(retry.policy.timeout);
+        }
+        self.client_send(
+            now,
+            client_node,
+            creq.dst,
             creq.flow,
             creq.wire_size,
-            PacketKind::Request,
-        )
-        .stamped(now);
-        let arrival = self.net.transfer(now, &pkt);
-        let req = Request {
-            actor: creq.dst.actor,
-            flow: creq.flow,
-            wire_size: creq.wire_size,
-            arrived: now,
-            reply_to: Some(Address {
-                node: client_node,
-                actor: 0,
-            }),
             token,
-            payload: creq.payload,
-        };
-        self.events.schedule_at(
-            arrival,
-            Ev::Deliver {
-                node: creq.dst.node,
-                req,
-            },
+            creq.payload,
         );
+        if let Some(wait) = retry_wait {
+            self.events
+                .schedule_after(wait, Ev::RetryCheck { client, token });
+        }
     }
 
     fn handle_deliver(&mut self, now: SimTime, node: u16, mut req: Request) {
@@ -669,8 +940,39 @@ impl Cluster {
             let client = node as usize - self.n_servers;
             #[cfg(feature = "rt-trace")]
             eprintln!("[client] t={now} token={} arrive", req.token);
+            // A redirect reply bounces the request toward another address
+            // instead of completing it (when retransmission is enabled —
+            // otherwise it terminates the request like any reply).
+            let redirect = req
+                .payload
+                .as_ref()
+                .and_then(|p| p.downcast_ref::<Redirect>())
+                .map(|r| r.0);
+            if let Some(new_dst) = redirect {
+                let resend = {
+                    let state = self.clients[client].as_mut();
+                    state.and_then(|s| {
+                        if !s.inflight.contains_key(&req.token) {
+                            return None;
+                        }
+                        let retry = s.retry.as_mut()?;
+                        let slot = retry.slots.get_mut(&req.token)?;
+                        slot.dst = new_dst;
+                        let payload = retry.payload_fn.as_mut().and_then(|f| f(req.token));
+                        Some((slot.flow, slot.wire_size, payload))
+                    })
+                };
+                if let Some((flow, wire_size, payload)) = resend {
+                    self.fault_metrics.redirects.inc();
+                    self.client_send(now, node, new_dst, flow, wire_size, req.token, payload);
+                    return;
+                }
+            }
             if let Some(state) = self.clients[client].as_mut() {
                 if let Some(issued) = state.inflight.remove(&req.token) {
+                    if let Some(retry) = state.retry.as_mut() {
+                        retry.slots.remove(&req.token);
+                    }
                     if issued >= self.measure_start {
                         self.completions.done += 1;
                         self.completions.hist.record(now.saturating_sub(issued));
@@ -956,6 +1258,13 @@ impl Cluster {
     }
 
     fn handle_mig_step(&mut self, now: SimTime, node: u16) {
+        // A node inside a crash window cannot make migration progress (the
+        // DMA engines and rings are gone with the card): abort, restore the
+        // actor, and retry once the node restarts.
+        if self.net.node_down(node, now) {
+            self.abort_migration(now, node);
+            return;
+        }
         // Phase transitions; durations computed when the phase starts.
         enum Next {
             Schedule(SimTime),
@@ -1028,6 +1337,42 @@ impl Cluster {
             }
             Next::Finish => self.finish_migration(now, node),
         }
+    }
+
+    /// Tear down an in-progress migration: the actor resumes at its origin
+    /// side, buffered requests re-enter the dispatcher, and a retry fires
+    /// after the crash window ends.
+    fn abort_migration(&mut self, now: SimTime, node: u16) {
+        let (actor, buffered) = {
+            let n = &mut self.nodes[node as usize];
+            let Some(mut m) = n.active_migration.take() else {
+                return;
+            };
+            let origin = match m.dir {
+                MigrationDir::Push => Loc::Nic,
+                MigrationDir::Pull => Loc::Host,
+            };
+            n.sched.set_location(m.actor, origin);
+            (m.actor, std::mem::take(&mut m.buffered))
+        };
+        self.fault_metrics.mig_aborted.inc();
+        self.obs.instant(
+            "migrate",
+            "aborted",
+            node,
+            MIGRATION_LANE,
+            now,
+            Some(("actor", actor as i64)),
+        );
+        for mut req in buffered {
+            req.arrived = now;
+            self.nodes[node as usize].sched.on_arrival(now, req);
+        }
+        if let Some(up) = self.net.down_until(node, now) {
+            self.events
+                .schedule_at(up + SimTime::from_us(1), Ev::MigRetry { node, actor });
+        }
+        self.kick_nic(now, node);
     }
 
     fn finish_migration(&mut self, now: SimTime, node: u16) {
@@ -1219,7 +1564,29 @@ impl Cluster {
                     wire_size,
                     payload,
                     token,
+                    after,
                 } => {
+                    if after > SimTime::ZERO {
+                        // Timer message: park it until the delay expires,
+                        // then re-enter routing (port occupancy and faults
+                        // are evaluated at fire time, not arm time).
+                        self.events.schedule_after(
+                            after,
+                            Ev::DelayedEmit {
+                                node,
+                                emit: Emit::ToActor {
+                                    dst,
+                                    flow,
+                                    wire_size,
+                                    payload,
+                                    token,
+                                    after: SimTime::ZERO,
+                                },
+                                from_nic,
+                            },
+                        );
+                        continue;
+                    }
                     let req = Request {
                         actor: dst.actor,
                         flow,
@@ -1269,14 +1636,29 @@ impl Cluster {
                             PacketKind::Internal,
                         )
                         .stamped(depart);
-                        let arrival = self.net.transfer(depart, &pkt);
-                        self.events.schedule_at(
-                            arrival,
-                            Ev::Deliver {
-                                node: dst.node,
-                                req,
-                            },
-                        );
+                        match self.net.transfer_checked(depart, &pkt) {
+                            Delivery::Delivered { at } => {
+                                self.events.schedule_at(
+                                    at,
+                                    Ev::Deliver {
+                                        node: dst.node,
+                                        req,
+                                    },
+                                );
+                            }
+                            Delivery::Corrupted { at, flip } => {
+                                self.events.schedule_at(
+                                    at,
+                                    Ev::DeliverCorrupt {
+                                        node: dst.node,
+                                        src: node,
+                                        wire_size,
+                                        flip,
+                                    },
+                                );
+                            }
+                            Delivery::Dropped { .. } => {}
+                        }
                     }
                 }
                 Emit::ToClient {
@@ -1300,23 +1682,38 @@ impl Cluster {
                         PacketKind::Response,
                     )
                     .stamped(depart);
-                    let arrival = self.net.transfer(depart, &pkt);
-                    let req = Request {
-                        actor: dst.actor,
-                        flow: token,
-                        wire_size,
-                        arrived: depart,
-                        reply_to: None,
-                        token,
-                        payload,
-                    };
-                    self.events.schedule_at(
-                        arrival,
-                        Ev::Deliver {
-                            node: dst.node,
-                            req,
-                        },
-                    );
+                    match self.net.transfer_checked(depart, &pkt) {
+                        Delivery::Delivered { at } => {
+                            let req = Request {
+                                actor: dst.actor,
+                                flow: token,
+                                wire_size,
+                                arrived: depart,
+                                reply_to: None,
+                                token,
+                                payload,
+                            };
+                            self.events.schedule_at(
+                                at,
+                                Ev::Deliver {
+                                    node: dst.node,
+                                    req,
+                                },
+                            );
+                        }
+                        Delivery::Corrupted { at, flip } => {
+                            self.events.schedule_at(
+                                at,
+                                Ev::DeliverCorrupt {
+                                    node: dst.node,
+                                    src: node,
+                                    wire_size,
+                                    flip,
+                                },
+                            );
+                        }
+                        Delivery::Dropped { .. } => {}
+                    }
                 }
             }
         }
@@ -1747,5 +2144,219 @@ mod tests {
             (c.completions().count(), c.completions().mean())
         };
         assert_eq!(run(), run());
+    }
+
+    fn echo_client(c: &mut Cluster, a: Address, outstanding: u32) {
+        c.set_client(
+            0,
+            Box::new(move |rng, _| ClientReq {
+                dst: a,
+                wire_size: 512,
+                flow: rng.below(1 << 30),
+                payload: None,
+            }),
+            outstanding,
+        );
+    }
+
+    #[test]
+    fn lossy_link_wedges_a_retryless_closed_loop() {
+        // Without retransmission every lost request permanently occupies a
+        // closed-loop slot: 8 slots, 100% loss, zero completions — the
+        // pre-fault behaviour the retry layer exists to fix.
+        let (mut c, a) = echo_cluster(2);
+        c.set_fault_plan(FaultPlan::new(3).with_loss(1.0));
+        echo_client(&mut c, a, 8);
+        c.run_for(SimTime::from_ms(5));
+        assert_eq!(c.completions().count(), 0);
+        assert_eq!(c.completions().issued(), 8);
+    }
+
+    #[test]
+    fn retransmission_recovers_lost_requests() {
+        let (mut c, a) = echo_cluster(2);
+        c.set_fault_plan(FaultPlan::new(3).with_loss(0.1));
+        echo_client(&mut c, a, 8);
+        c.set_client_retry(0, RetryPolicy::lan_default(), None);
+        c.run_for(SimTime::from_ms(20));
+        let done = c.completions().count();
+        assert!(done > 1_000, "done={done}");
+        let retries = c.obs().registry().counter("client.retry.sent").get();
+        assert!(retries > 0, "10% loss must trigger retransmissions");
+        // The loop never wedges: every issued request completes or is
+        // still within its retry budget.
+        assert!(c.completions().issued() - done < 8 + 1);
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_tries_and_frees_the_slot() {
+        let (mut c, a) = echo_cluster(2);
+        c.set_fault_plan(FaultPlan::new(5).with_loss(1.0));
+        echo_client(&mut c, a, 2);
+        c.set_client_retry(
+            0,
+            RetryPolicy {
+                timeout: SimTime::from_us(100),
+                cap: SimTime::from_us(400),
+                max_tries: 3,
+            },
+            None,
+        );
+        c.run_for(SimTime::from_ms(10));
+        assert_eq!(c.completions().count(), 0);
+        let abandoned = c.obs().registry().counter("client.retry.abandoned").get();
+        assert!(abandoned > 2, "abandoned={abandoned}");
+        // Abandonment re-issues: far more than the initial 2 slots went out.
+        assert!(c.completions().issued() > 10);
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_by_the_shim_stack() {
+        let (mut c, a) = echo_cluster(2);
+        c.set_fault_plan(FaultPlan::new(7).with_corruption(1.0));
+        echo_client(&mut c, a, 4);
+        c.run_for(SimTime::from_ms(2));
+        assert_eq!(c.completions().count(), 0, "every frame was damaged");
+        let rejected = c.obs().registry().counter("fault.rx.rejected").get();
+        assert_eq!(rejected, 4, "each issued frame rejected exactly once");
+    }
+
+    #[test]
+    fn node_crash_heals_after_restart_with_retry() {
+        let (mut c, a) = echo_cluster(2);
+        // Server (node 0) is dark for [1ms, 3ms).
+        c.set_fault_plan(FaultPlan::new(11).with_crash(
+            0,
+            SimTime::from_ms(1),
+            SimTime::from_ms(3),
+        ));
+        echo_client(&mut c, a, 8);
+        c.set_client_retry(0, RetryPolicy::lan_default(), None);
+        c.run_for(SimTime::from_ms(1));
+        let before_crash = c.completions().count();
+        assert!(before_crash > 100);
+        c.run_for(SimTime::from_ms(2));
+        c.reset_measurements();
+        c.run_for(SimTime::from_ms(3));
+        let after_restart = c.completions().count();
+        assert!(after_restart > 100, "traffic resumes: {after_restart}");
+    }
+
+    #[test]
+    fn migration_aborts_on_crash_and_retries_after_restart() {
+        let cfg = SchedConfig::for_nic(&CN2350).no_migration();
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .sched(cfg)
+            .seed(13)
+            .build();
+        let a = c.register_actor(
+            0,
+            "stateful-echo",
+            Box::new(StatefulEcho {
+                cost: SimTime::from_us(3),
+            }),
+            Placement::Nic,
+        );
+        c.run_closed_loop(a, 4, 512, SimTime::from_ms(2));
+        // Crash the node right as migration starts; window covers phase 1.
+        c.set_fault_plan(FaultPlan::new(17).with_crash(
+            0,
+            SimTime::from_ms(2),
+            SimTime::from_ms(8),
+        ));
+        assert!(c.force_migrate(a));
+        c.run_for(SimTime::from_ms(20));
+        let aborted = c.obs().registry().counter("migrate.aborted").get();
+        assert_eq!(aborted, 1, "first attempt aborted");
+        // The retry after restart completed the move.
+        assert_eq!(c.actor_location(a), Some(Loc::Host));
+        assert_eq!(c.migration_reports(0).len(), 1);
+    }
+
+    struct Ticker {
+        ticks: std::rc::Rc<std::cell::Cell<u32>>,
+        period: SimTime,
+    }
+    impl ActorLogic for Ticker {
+        fn init(&mut self, ctx: &mut ActorCtx<'_>) {
+            let me = Address {
+                node: ctx.node(),
+                actor: ctx.actor_id(),
+            };
+            ctx.send_after(self.period, me, 0, 64, 0, None);
+        }
+        fn exec(&mut self, ctx: &mut ActorCtx<'_>, _req: Request) {
+            self.ticks.set(self.ticks.get() + 1);
+            let me = Address {
+                node: ctx.node(),
+                actor: ctx.actor_id(),
+            };
+            ctx.send_after(self.period, me, 0, 64, 0, None);
+        }
+    }
+
+    #[test]
+    fn send_after_drives_a_periodic_tick_from_init() {
+        let ticks = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(1)
+            .build();
+        c.register_actor(
+            0,
+            "ticker",
+            Box::new(Ticker {
+                ticks: ticks.clone(),
+                period: SimTime::from_us(100),
+            }),
+            Placement::Nic,
+        );
+        c.run_for(SimTime::from_us(1050));
+        let n = ticks.get();
+        assert!((9..=11).contains(&n), "ticks={n}");
+    }
+
+    struct Bouncer {
+        to: Address,
+    }
+    impl ActorLogic for Bouncer {
+        fn exec(&mut self, ctx: &mut ActorCtx<'_>, req: Request) {
+            ctx.charge(SimTime::from_us(1));
+            let to = self.to;
+            ctx.reply(req, 64, Some(Box::new(Redirect(to))));
+        }
+    }
+
+    #[test]
+    fn redirect_reply_bounces_the_request_to_the_new_address() {
+        let mut c = Cluster::builder(CN2350)
+            .servers(2)
+            .clients(1)
+            .seed(21)
+            .build();
+        let echo = c.register_actor(
+            1,
+            "echo",
+            Box::new(Echo {
+                cost: SimTime::from_us(2),
+            }),
+            Placement::Nic,
+        );
+        let bouncer =
+            c.register_actor(0, "bouncer", Box::new(Bouncer { to: echo }), Placement::Nic);
+        echo_client(&mut c, bouncer, 4);
+        c.set_client_retry(0, RetryPolicy::lan_default(), None);
+        c.run_for(SimTime::from_ms(5));
+        let done = c.completions().count();
+        assert!(done > 500, "done={done}");
+        let redirects = c.obs().registry().counter("client.redirects").get();
+        assert_eq!(
+            redirects,
+            c.completions().issued(),
+            "every request bounced once"
+        );
     }
 }

@@ -10,8 +10,10 @@
 //! that matters for the evaluation (packet-rate arithmetic and queueing),
 //! without simulating individual symbols.
 
+pub mod fault;
 pub mod net;
 pub mod packet;
 
+pub use fault::{Delivery, DropReason, FaultPlan};
 pub use net::NetModel;
 pub use packet::{NodeId, Packet, PacketKind};

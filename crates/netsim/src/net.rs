@@ -1,5 +1,6 @@
 //! The link/switch timing oracle.
 
+use crate::fault::{Delivery, DropReason, FaultPlan, Verdict};
 #[cfg(test)]
 use crate::packet::NodeId;
 use crate::packet::Packet;
@@ -13,7 +14,10 @@ use ipipe_sim::SimTime;
 #[derive(Debug, Clone)]
 pub struct NetModel {
     link_gbps: f64,
-    /// Cut-through switch forwarding latency.
+    /// Switch forwarding latency. The ToR is modelled as cut-through: this
+    /// fixed latency is paid once per frame, independent of frame size
+    /// (a store-and-forward switch would pay another full serialization
+    /// here instead).
     switch_latency: SimTime,
     /// Cable propagation (short intra-rack runs).
     propagation: SimTime,
@@ -24,6 +28,8 @@ pub struct NetModel {
     /// Bytes moved, for throughput accounting.
     bytes_sent: u64,
     packets_sent: u64,
+    /// Optional fault schedule consulted by [`NetModel::transfer_checked`].
+    fault: Option<FaultPlan>,
     /// Optional registry handles (see [`NetModel::attach_obs`]).
     obs: Option<NetMetrics>,
 }
@@ -34,6 +40,10 @@ struct NetMetrics {
     packets: Counter,
     bytes: Counter,
     tx_wait: HistHandle,
+    drop_loss: Counter,
+    drop_link: Counter,
+    drop_node: Counter,
+    corrupt: Counter,
 }
 
 impl NetModel {
@@ -49,18 +59,45 @@ impl NetModel {
             rx_free: vec![SimTime::ZERO; nodes],
             bytes_sent: 0,
             packets_sent: 0,
+            fault: None,
             obs: None,
         }
     }
 
-    /// Publish link metrics into `reg`: `net.packets`, `net.bytes` and the
-    /// `net.tx_wait` histogram of egress head-of-line blocking time.
+    /// Publish link metrics into `reg`: `net.packets`, `net.bytes`, the
+    /// `net.tx_wait` histogram of egress head-of-line blocking time, and the
+    /// `fault.*` counters fed by [`NetModel::transfer_checked`].
     pub fn attach_obs(&mut self, reg: &Registry) {
         self.obs = Some(NetMetrics {
             packets: reg.counter("net.packets"),
             bytes: reg.counter("net.bytes"),
             tx_wait: reg.hist("net.tx_wait"),
+            drop_loss: reg.counter("fault.drop.loss"),
+            drop_link: reg.counter("fault.drop.link"),
+            drop_node: reg.counter("fault.drop.node"),
+            corrupt: reg.counter("fault.corrupt"),
         });
+    }
+
+    /// Attach a seeded fault schedule; subsequent
+    /// [`NetModel::transfer_checked`] calls consult it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// True when `node` is inside a crash window of the attached plan.
+    pub fn node_down(&self, node: u16, at: SimTime) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.node_down(node, at))
+    }
+
+    /// When `node`, crashed at `at`, restarts (None if it is up).
+    pub fn down_until(&self, node: u16, at: SimTime) -> Option<SimTime> {
+        self.fault.as_ref().and_then(|f| f.down_until(node, at))
     }
 
     /// Number of attached nodes.
@@ -75,17 +112,20 @@ impl NetModel {
 
     /// On-wire serialization time of a frame (payload + Ethernet overhead).
     pub fn wire_time(&self, size: u32) -> SimTime {
-        let bits = ((size + WIRE_OVERHEAD_BYTES) * 8) as f64;
+        // Widen before multiplying: (size + overhead) * 8 overflows u32 for
+        // sizes above ~512 MiB (jumbo DMA transfers in the migration path).
+        let bits = ((size as u64 + WIRE_OVERHEAD_BYTES as u64) * 8) as f64;
         SimTime::from_secs_f64(bits / (self.link_gbps * 1e9))
     }
 
     /// Account a packet handed to the source NIC at `now`; returns when its
     /// last byte arrives at the destination NIC.
     ///
-    /// Serialization happens on the egress link, then the switch cuts
-    /// through, then the ingress link is occupied for another serialization
-    /// period (head-of-line behaviour of a store-and-forward ToR is
-    /// approximated by the ingress occupancy).
+    /// Serialization happens on the egress link, the cut-through switch adds
+    /// its fixed forwarding latency, and the destination's ingress link is
+    /// occupied for another serialization period — so concurrent senders to
+    /// one receiver serialize on `rx_free` (egress-port head-of-line
+    /// blocking at the ToR, charged at the receiving link).
     pub fn transfer(&mut self, now: SimTime, pkt: &Packet) -> SimTime {
         let (s, d) = (pkt.src.0 as usize, pkt.dst.0 as usize);
         assert!(s < self.nodes() && d < self.nodes(), "unknown node");
@@ -108,6 +148,71 @@ impl NetModel {
             m.tx_wait.record(tx_start.saturating_sub(now));
         }
         rx_end
+    }
+
+    /// Like [`NetModel::transfer`], but consult the attached [`FaultPlan`]
+    /// first. Without a plan this is exactly `transfer` (zero RNG draws),
+    /// so fault-free runs keep their byte-identical timelines.
+    ///
+    /// Occupancy policy: a lost frame was still serialized by the sender, so
+    /// it occupies the egress port (and counts toward `bytes_sent`) but
+    /// never touches the receiver. A corrupted frame takes the full path —
+    /// the receiver's shim stack burns the ingress occupancy before its
+    /// header validation rejects it. Link-down and node-down frames never
+    /// reach the wire: no occupancy, no byte accounting.
+    pub fn transfer_checked(&mut self, now: SimTime, pkt: &Packet) -> Delivery {
+        let verdict = match &mut self.fault {
+            None => {
+                return Delivery::Delivered {
+                    at: self.transfer(now, pkt),
+                }
+            }
+            Some(plan) => plan.judge(now, pkt),
+        };
+        match verdict {
+            Verdict::Deliver => Delivery::Delivered {
+                at: self.transfer(now, pkt),
+            },
+            Verdict::Corrupt { flip } => {
+                let at = self.transfer(now, pkt);
+                if let Some(m) = &self.obs {
+                    m.corrupt.inc();
+                }
+                Delivery::Corrupted { at, flip }
+            }
+            Verdict::Drop(reason) => {
+                match reason {
+                    DropReason::Loss => {
+                        // The sender serialized the frame before the wire ate
+                        // it: charge egress occupancy and byte accounting.
+                        let s = pkt.src.0 as usize;
+                        assert!(s < self.nodes(), "unknown node");
+                        let wire = self.wire_time(pkt.size);
+                        let tx_start = now.max(self.tx_free[s]);
+                        self.tx_free[s] = tx_start + wire;
+                        self.bytes_sent += (pkt.size + WIRE_OVERHEAD_BYTES) as u64;
+                        self.packets_sent += 1;
+                        if let Some(m) = &self.obs {
+                            m.packets.inc();
+                            m.bytes.add((pkt.size + WIRE_OVERHEAD_BYTES) as u64);
+                            m.tx_wait.record(tx_start.saturating_sub(now));
+                            m.drop_loss.inc();
+                        }
+                    }
+                    DropReason::LinkDown => {
+                        if let Some(m) = &self.obs {
+                            m.drop_link.inc();
+                        }
+                    }
+                    DropReason::NodeDown => {
+                        if let Some(m) = &self.obs {
+                            m.drop_node.inc();
+                        }
+                    }
+                }
+                Delivery::Dropped { reason }
+            }
+        }
     }
 
     /// Unloaded one-way latency for a frame of `size` bytes.
@@ -208,6 +313,128 @@ mod tests {
     fn loopback_rejected() {
         let mut n = NetModel::new(2, 10.0);
         n.transfer(SimTime::ZERO, &pkt(0, 0, 64));
+    }
+
+    #[test]
+    fn wire_time_survives_huge_frames() {
+        // Regression: (size + overhead) * 8 used to be computed in u32 and
+        // wrapped for sizes near u32::MAX, yielding a near-zero wire time.
+        let n = NetModel::new(2, 10.0);
+        let huge = n.wire_time(u32::MAX - WIRE_OVERHEAD_BYTES);
+        // 2^32 * 8 bits at 10 Gbps is ~3.44 s.
+        assert!(huge > SimTime::from_ms(3000), "huge={huge:?}");
+        // Monotone in size across the old wrap point.
+        assert!(n.wire_time(u32::MAX - WIRE_OVERHEAD_BYTES) > n.wire_time(1 << 29));
+        assert!(n.wire_time(1 << 29) > n.wire_time(1500));
+    }
+
+    #[test]
+    fn three_senders_serialize_on_one_ingress_port() {
+        let mut n = NetModel::new(4, 10.0);
+        let w = n.wire_time(1500);
+        let a1 = n.transfer(SimTime::ZERO, &pkt(0, 3, 1500));
+        let a2 = n.transfer(SimTime::ZERO, &pkt(1, 3, 1500));
+        let a3 = n.transfer(SimTime::ZERO, &pkt(2, 3, 1500));
+        // Egress links are independent, so all three frames reach the switch
+        // together; node 3's ingress port then drains them back to back.
+        assert_eq!(a2, a1 + w);
+        assert_eq!(a3, a2 + w);
+        // A later-injected frame to a different receiver is unaffected.
+        let mut fresh = NetModel::new(4, 10.0);
+        assert_eq!(
+            n.transfer(SimTime::ZERO, &pkt(0, 2, 64)),
+            fresh.transfer(SimTime::ZERO, &pkt(0, 2, 64)) + w
+        );
+    }
+
+    #[test]
+    fn checked_transfer_without_plan_matches_transfer() {
+        let mut a = NetModel::new(2, 10.0);
+        let mut b = NetModel::new(2, 10.0);
+        for i in 0..32 {
+            let p = pkt(0, 1, 200 + i);
+            let plain = a.transfer(SimTime::from_us(i as u64), &p);
+            let checked = b.transfer_checked(SimTime::from_us(i as u64), &p);
+            assert_eq!(checked, Delivery::Delivered { at: plain });
+        }
+        assert_eq!(a.bytes_sent(), b.bytes_sent());
+        assert_eq!(a.packets_sent(), b.packets_sent());
+    }
+
+    #[test]
+    fn lost_frames_occupy_egress_but_not_ingress() {
+        let mut n = NetModel::new(3, 10.0);
+        n.set_fault_plan(FaultPlan::new(1).with_link_loss(0, 2, 1.0));
+        let w = n.wire_time(1500);
+        assert_eq!(
+            n.transfer_checked(SimTime::ZERO, &pkt(0, 2, 1500)),
+            Delivery::Dropped {
+                reason: DropReason::Loss
+            }
+        );
+        // Sender 0's next frame queues behind the lost one on egress...
+        let next = n.transfer_checked(SimTime::ZERO, &pkt(0, 1, 1500));
+        let mut clean = NetModel::new(3, 10.0);
+        let unqueued = clean.transfer(SimTime::ZERO, &pkt(0, 1, 1500));
+        assert_eq!(next, Delivery::Delivered { at: unqueued + w });
+        // ...but receiver 2's ingress port never saw the lost frame.
+        let from_other = n.transfer_checked(SimTime::ZERO, &pkt(1, 2, 1500));
+        let mut clean2 = NetModel::new(3, 10.0);
+        let direct = clean2.transfer(SimTime::ZERO, &pkt(1, 2, 1500));
+        assert_eq!(from_other, Delivery::Delivered { at: direct });
+    }
+
+    #[test]
+    fn node_down_frames_leave_no_trace() {
+        let mut n = NetModel::new(2, 10.0);
+        n.set_fault_plan(FaultPlan::new(2).with_crash(1, SimTime::ZERO, SimTime::from_ms(1)));
+        assert!(n.node_down(1, SimTime::ZERO));
+        assert_eq!(n.down_until(1, SimTime::ZERO), Some(SimTime::from_ms(1)));
+        assert_eq!(
+            n.transfer_checked(SimTime::from_us(3), &pkt(0, 1, 1500)),
+            Delivery::Dropped {
+                reason: DropReason::NodeDown
+            }
+        );
+        assert_eq!(n.packets_sent(), 0);
+        assert_eq!(n.bytes_sent(), 0);
+        // After restart, traffic flows again.
+        let after = n.transfer_checked(SimTime::from_ms(1), &pkt(0, 1, 1500));
+        assert!(matches!(after, Delivery::Delivered { .. }));
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically() {
+        let run = || {
+            let mut n = NetModel::new(3, 10.0);
+            n.set_fault_plan(
+                FaultPlan::new(9)
+                    .with_loss(0.2)
+                    .with_corruption(0.1)
+                    .with_link_down(2, SimTime::from_us(10), SimTime::from_us(30)),
+            );
+            (0..500)
+                .map(|i| {
+                    n.transfer_checked(SimTime::from_ns(40 * i), &pkt(0, (1 + i % 2) as u16, 800))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn registry_counts_fault_outcomes() {
+        let reg = Registry::new();
+        let mut n = NetModel::new(2, 10.0);
+        n.attach_obs(&reg);
+        n.set_fault_plan(FaultPlan::new(4).with_corruption(1.0));
+        let d = n.transfer_checked(SimTime::ZERO, &pkt(0, 1, 256));
+        assert!(matches!(d, Delivery::Corrupted { .. }));
+        assert_eq!(reg.counter("fault.corrupt").get(), 1);
+        assert_eq!(reg.counter("net.packets").get(), 1, "corrupt frames fly");
+        n.set_fault_plan(FaultPlan::new(4).with_loss(1.0));
+        n.transfer_checked(SimTime::ZERO, &pkt(0, 1, 256));
+        assert_eq!(reg.counter("fault.drop.loss").get(), 1);
     }
 
     #[test]

@@ -11,6 +11,11 @@ use rand_distr::{Distribution, Exp, Zipf};
 /// Every simulation component derives its own stream via
 /// [`DetRng::fork`] so adding a component never perturbs the draws seen by
 /// another — a standard trick for reproducible parallel simulations.
+///
+/// Cloning copies the full generator state: the clone continues the exact
+/// same stream (used by components that are themselves `Clone`, like the
+/// network fault plan).
+#[derive(Debug, Clone)]
 pub struct DetRng {
     inner: StdRng,
     seed: u64,
