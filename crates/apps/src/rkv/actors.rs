@@ -6,7 +6,8 @@ use super::paxos::{NodeIdx, PaxosMsg, PaxosNode, Role, Slot};
 use ipipe::prelude::*;
 use ipipe::rt::{Cluster, Redirect};
 use ipipe::skiplist::DmoSkipList;
-use ipipe_sim::obs::{Counter, Gauge};
+use ipipe_sim::audit::{AuditReport, CLUSTER_WIDE};
+use ipipe_sim::obs::{Counter, Gauge, Registry};
 use ipipe_workload::kv::KvOp;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -811,6 +812,50 @@ pub fn deploy_rkv_with(
     }
 }
 
+/// Quiesce-time exactly-once reconciliation (DESIGN.md §11): re-derive the
+/// apply ledger from the obs registry and check it against the client's
+/// issue/completion ledger.
+///
+/// - `rkv.exactly.once` — per stable replica, `rkv.applies ≤ issued`:
+///   retransmitted commands that re-commit into a second slot must be
+///   absorbed by the token filter (`rkv.dup.commits`), never re-applied. A
+///   breach means a duplicate escaped into a memtable.
+/// - `rkv.apply.coverage` — `max(rkv.applies) ≥ done` across stable
+///   replicas: a client completion is only ever answered at apply time (or
+///   from the applied-token filter), so the most caught-up stable memtable
+///   must hold every completed write.
+///
+/// `stable_nodes` are the replicas that were never crash-restarted: a
+/// restarted replica re-applies its log with a fresh token filter, so its
+/// counter legitimately double-counts and is excluded by the caller.
+pub fn audit_rkv_exactly_once(
+    reg: &Registry,
+    stable_nodes: &[u16],
+    issued: u64,
+    done: u64,
+    r: &mut AuditReport,
+) {
+    let mut max_applies = 0u64;
+    for &node in stable_nodes {
+        let applies = reg.counter_on("rkv.applies", node).get();
+        max_applies = max_applies.max(applies);
+        r.check("rkv.exactly.once", node, applies <= issued, || {
+            format!("{applies} applies but only {issued} distinct tokens issued")
+        });
+    }
+    r.check(
+        "rkv.apply.coverage",
+        CLUSTER_WIDE,
+        stable_nodes.is_empty() || max_applies >= done,
+        || {
+            format!(
+                "{done} client completions but the most caught-up stable \
+                 replica only applied {max_applies}"
+            )
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -902,6 +947,52 @@ mod tests {
         c.run_for(SimTime::from_ms(20));
         let done = c.completions().count();
         assert!(done > 1_000, "done={done}");
+    }
+
+    #[test]
+    fn quiesce_audit_and_exactly_once_ledger_reconcile() {
+        use ipipe_sim::obs::Obs;
+        let obs = Obs::default();
+        let mut c = Cluster::builder(CN2350)
+            .servers(3)
+            .clients(1)
+            .seed(0xA0D1)
+            .obs(obs.clone())
+            .build();
+        let dep = deploy_rkv(&mut c, &[0, 1, 2], 64 * 1024);
+        let leader = dep.consensus[0];
+        let mut wl = KvWorkload::new(1000, 0.99, 0.0, 64, 3); // all writes
+        c.set_client(
+            0,
+            Box::new(move |rng, _| {
+                let op = wl.next_op();
+                ClientReq {
+                    dst: leader,
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            8,
+        );
+        c.run_for(SimTime::from_ms(10));
+        let done = c.completions().count();
+        let issued = c.completions().issued();
+        assert!(done > 500, "done={done}");
+        // Runtime-wide conservation sweep, then the app-level ledger.
+        c.audit().assert_clean();
+        let mut r = AuditReport::new(SimTime::ZERO);
+        audit_rkv_exactly_once(obs.registry(), &[0, 1, 2], issued, done, &mut r);
+        assert!(r.is_clean(), "{}", r.render());
+        // An injected duplicate apply must trip the per-replica bound.
+        let applies = obs.registry().counter_on("rkv.applies", 0);
+        for _ in 0..=(issued - applies.get()) {
+            applies.inc();
+        }
+        let mut r = AuditReport::new(SimTime::ZERO);
+        audit_rkv_exactly_once(obs.registry(), &[0, 1, 2], issued, done, &mut r);
+        assert!(!r.is_clean());
+        assert_eq!(r.violations()[0].invariant, "rkv.exactly.once");
     }
 
     #[test]

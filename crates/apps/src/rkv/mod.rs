@@ -14,7 +14,9 @@ pub mod bloom;
 pub mod lsm;
 pub mod paxos;
 
-pub use actors::{CompactionActor, ConsensusActor, MemtableActor, SstReadActor};
+pub use actors::{
+    audit_rkv_exactly_once, CompactionActor, ConsensusActor, MemtableActor, SstReadActor,
+};
 pub use bloom::BloomFilter;
 pub use lsm::{Levels, SsTable};
 pub use paxos::{PaxosMsg, PaxosNode, Role};

@@ -9,6 +9,7 @@
 //! consensus actor, the DPDK baseline, and the unit tests (which drive a
 //! 3-replica group through commits, leader failure and gap learning).
 
+use ipipe_sim::audit::{AuditReport, CLUSTER_WIDE};
 use std::collections::{BTreeMap, HashSet};
 
 /// Replica index within the group.
@@ -349,6 +350,120 @@ impl PaxosNode {
             self.apply_index += 1;
         }
         out
+    }
+
+    /// Per-replica protocol-safety audit (the state is private, so the
+    /// checks live here rather than in the runtime's sweep):
+    ///
+    /// - `paxos.ballot` — a replica never operates under a ballot above its
+    ///   own promise;
+    /// - `paxos.leader.ballot` — a leader's ballot is tagged with its id
+    ///   (`ballot % n == id`), the structural guarantee behind ballot
+    ///   uniqueness;
+    /// - `paxos.frontier` — `apply_index ≤ commit_frontier ≤ log.len()`;
+    /// - `paxos.accepted.ballot` — no live entry was accepted under a ballot
+    ///   above the promise (acceptance always raises the promise first);
+    /// - `paxos.committed.value` — every committed-and-unapplied entry holds
+    ///   a value (entries below `apply_index` may be truncated);
+    /// - `paxos.votes` — accept-quorum sets only ever name group members.
+    pub fn audit_into(&self, r: &mut AuditReport, node: u16) {
+        r.check("paxos.ballot", node, self.ballot <= self.promised, || {
+            format!(
+                "own ballot {} above promised {}",
+                self.ballot, self.promised
+            )
+        });
+        r.check(
+            "paxos.leader.ballot",
+            node,
+            self.role != Role::Leader || self.ballot % self.n as u64 == self.id as u64,
+            || {
+                format!(
+                    "leading under ballot {} not tagged with id {}",
+                    self.ballot, self.id
+                )
+            },
+        );
+        let frontier = self.commit_frontier();
+        r.check(
+            "paxos.frontier",
+            node,
+            self.apply_index <= frontier && frontier <= self.log.len() as u64,
+            || {
+                format!(
+                    "apply_index {} / frontier {} / log length {}",
+                    self.apply_index,
+                    frontier,
+                    self.log.len()
+                )
+            },
+        );
+        for (s, e) in self.log.iter().enumerate().skip(self.apply_index as usize) {
+            r.check(
+                "paxos.accepted.ballot",
+                node,
+                e.accepted_ballot.is_none_or(|b| b <= self.promised),
+                || {
+                    format!(
+                        "slot {s}: accepted under {:?} above promised {}",
+                        e.accepted_ballot, self.promised
+                    )
+                },
+            );
+            r.check(
+                "paxos.committed.value",
+                node,
+                !e.committed || e.value.is_some(),
+                || format!("slot {s} committed without a value"),
+            );
+        }
+        for (s, votes) in &self.accept_votes {
+            r.check(
+                "paxos.votes",
+                node,
+                votes.len() <= self.n as usize && votes.iter().all(|&v| v < self.n),
+                || format!("slot {s}: vote set names non-members (group of {})", self.n),
+            );
+        }
+    }
+
+    /// Cross-replica agreement audit — Paxos' core safety property:
+    ///
+    /// - `paxos.agreement` — no slot is committed with different values on
+    ///   two replicas (slots truncated on either side are skipped: their
+    ///   values were applied and released);
+    /// - `paxos.split.brain` — no two replicas lead under the same ballot.
+    pub fn audit_group(nodes: &[&PaxosNode], r: &mut AuditReport) {
+        for (i, a) in nodes.iter().enumerate() {
+            for b in nodes.iter().skip(i + 1) {
+                let upto = a.log.len().min(b.log.len());
+                for s in 0..upto {
+                    let (ea, eb) = (&a.log[s], &b.log[s]);
+                    if !(ea.committed && eb.committed) {
+                        continue;
+                    }
+                    if let (Some(va), Some(vb)) = (&ea.value, &eb.value) {
+                        r.check("paxos.agreement", CLUSTER_WIDE, va == vb, || {
+                            format!(
+                                "slot {s}: replica {} committed {:02x?} but replica {} committed {:02x?}",
+                                a.id, va, b.id, vb
+                            )
+                        });
+                    }
+                }
+                r.check(
+                    "paxos.split.brain",
+                    CLUSTER_WIDE,
+                    !(a.role == Role::Leader && b.role == Role::Leader && a.ballot == b.ballot),
+                    || {
+                        format!(
+                            "replicas {} and {} both lead under ballot {}",
+                            a.id, b.id, a.ballot
+                        )
+                    },
+                );
+            }
+        }
     }
 
     fn maybe_commit(&mut self, slot: Slot) -> bool {
@@ -846,6 +961,85 @@ mod tests {
         assert_eq!(c3.len(), 2);
         assert_eq!(c3[0].1, b"a");
         assert_eq!(c3[1].1, b"b");
+    }
+
+    #[test]
+    fn audit_passes_through_commit_failover_and_truncation() {
+        use ipipe_sim::SimTime;
+        let audit_all = |nodes: &[PaxosNode]| {
+            let mut r = AuditReport::new(SimTime::ZERO);
+            for (i, nd) in nodes.iter().enumerate() {
+                nd.audit_into(&mut r, i as u16);
+            }
+            let refs: Vec<&PaxosNode> = nodes.iter().collect();
+            PaxosNode::audit_group(&refs, &mut r);
+            r
+        };
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for i in 0..20u32 {
+            for (to, m) in nodes[0].propose(vec![i as u8; 16]) {
+                q.push_back((0, to, m));
+            }
+        }
+        pump(&mut nodes, &mut q, None);
+        assert!(
+            audit_all(&nodes).is_clean(),
+            "{}",
+            audit_all(&nodes).render()
+        );
+        // Failover under a dead leader, then more commits.
+        for (to, m) in nodes[1].start_election() {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        for (to, m) in nodes[1].propose(b"after".to_vec()) {
+            q.push_back((1, to, m));
+        }
+        pump(&mut nodes, &mut q, Some(0));
+        assert!(
+            audit_all(&nodes).is_clean(),
+            "{}",
+            audit_all(&nodes).render()
+        );
+        // Apply + truncate on the new leader: committed-without-value below
+        // apply_index must NOT trip the audit.
+        let applied = nodes[1].drain_committed().len() as u64;
+        assert!(applied >= 21);
+        nodes[1].truncate_below(applied);
+        assert!(
+            audit_all(&nodes).is_clean(),
+            "{}",
+            audit_all(&nodes).render()
+        );
+    }
+
+    #[test]
+    fn audit_catches_forged_divergence_and_ballot_drift() {
+        use ipipe_sim::SimTime;
+        let mut nodes = group(3);
+        let mut q = VecDeque::new();
+        for (to, m) in nodes[0].propose(b"truth".to_vec()) {
+            q.push_back((0, to, m));
+        }
+        pump(&mut nodes, &mut q, None);
+        // Forge the canonical safety violation: replica 2 commits a
+        // different value into an agreed slot.
+        nodes[2].log[0].value = Some(b"forged".to_vec());
+        let mut r = AuditReport::new(SimTime::ZERO);
+        let refs: Vec<&PaxosNode> = nodes.iter().collect();
+        PaxosNode::audit_group(&refs, &mut r);
+        // Both honest replicas disagree with the forger: two pairs trip.
+        assert_eq!(r.violations().len(), 2);
+        assert!(r
+            .violations()
+            .iter()
+            .all(|v| v.invariant == "paxos.agreement"));
+        // And a replica operating above its own promise.
+        nodes[1].ballot = nodes[1].promised + 1;
+        let mut r = AuditReport::new(SimTime::ZERO);
+        nodes[1].audit_into(&mut r, 1);
+        assert!(r.violations().iter().any(|v| v.invariant == "paxos.ballot"));
     }
 
     /// Deliver in-flight messages, independently dropping each with

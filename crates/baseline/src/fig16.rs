@@ -11,6 +11,7 @@
 use ipipe::actor::Request;
 use ipipe::sched::{Discipline, Loc, NicScheduler, SchedConfig, Work};
 use ipipe_nicsim::spec::NicSpec;
+use ipipe_sim::audit::AuditReport;
 use ipipe_sim::obs::{HistHandle, Obs};
 use ipipe_sim::{EventQueue, SimTime};
 use ipipe_workload::service::ServiceTrace;
@@ -190,6 +191,13 @@ pub fn run_fig16_obs(
         }
         kick(q, st);
     });
+
+    // Quiesce-time conservation sweep: every generated arrival must be
+    // accounted for in the scheduler's ledgers once the event queue drains.
+    let mut audit = AuditReport::new(q.now());
+    st.sched.audit_into(&mut audit, 0);
+    audit.record_to(obs);
+    audit.assert_clean();
 
     Fig16Point {
         load,

@@ -1,0 +1,207 @@
+//! Differential oracle (DESIGN.md §11): re-run a scenario under mechanisms
+//! that must not change a single observable result, and byte-diff the
+//! exported metric snapshots.
+//!
+//! Three pure-mechanism axes exist in the DES, each introduced as a
+//! performance optimisation with an explicit "semantically invisible"
+//! contract:
+//!
+//! * the timing-wheel event queue vs the reference binary heap
+//!   ([`QueueKind`]),
+//! * batched event dispatch vs one-at-a-time dispatch,
+//! * the parallel sweep runner vs a serial sweep
+//!   ([`ipipe_sim::sweep::parallel_sweep`] with `workers = 1`).
+//!
+//! The unit/property suites already pin these at the data-structure level;
+//! the oracle closes the remaining gap by diffing *whole scenarios* — every
+//! counter, gauge and histogram the run exports — so a divergence anywhere
+//! in the stack (scheduler, rings, faults, Paxos) surfaces as a one-line
+//! mismatch instead of a subtly wrong figure.
+
+use crate::fault::run_rkv_fault_with;
+use ipipe_baseline::fig16::run_fig16_obs;
+use ipipe_nicsim::CN2350;
+use ipipe_sim::obs::Obs;
+use ipipe_sim::sweep::{default_workers, parallel_sweep};
+use ipipe_sim::QueueKind;
+use ipipe_workload::service::{fig16_distribution, Dispersion, Fig16Card};
+
+/// One scenario run per mechanism variant: a label and the full metric
+/// snapshot it exported, in the registry's canonical JSONL form.
+pub struct DiffOutcome {
+    /// `(variant label, snapshot)` pairs; index 0 is the reference.
+    pub variants: Vec<(String, String)>,
+}
+
+impl DiffOutcome {
+    /// True when every variant exported a byte-identical snapshot.
+    pub fn identical(&self) -> bool {
+        self.divergent().is_empty()
+    }
+
+    /// Labels of the variants whose snapshot differs from the reference.
+    pub fn divergent(&self) -> Vec<&str> {
+        let Some((_, reference)) = self.variants.first() else {
+            return Vec::new();
+        };
+        self.variants
+            .iter()
+            .skip(1)
+            .filter(|(_, snap)| snap != reference)
+            .map(|(label, _)| label.as_str())
+            .collect()
+    }
+
+    /// One-line human summary (CI log line).
+    pub fn render(&self) -> String {
+        if self.identical() {
+            format!(
+                "differential: {} variants byte-identical ({} bytes each)",
+                self.variants.len(),
+                self.variants.first().map(|(_, s)| s.len()).unwrap_or(0)
+            )
+        } else {
+            format!(
+                "differential: DIVERGED — {:?} disagree with {}",
+                self.divergent(),
+                self.variants[0].0
+            )
+        }
+    }
+
+    /// First differing line between the reference and the first divergent
+    /// variant — enough to name the metric that broke, without dumping
+    /// whole snapshots into a CI log.
+    pub fn first_divergence(&self) -> Option<String> {
+        let (_, reference) = self.variants.first()?;
+        let (label, snap) = self.variants.iter().skip(1).find(|(_, s)| s != reference)?;
+        for (a, b) in reference.lines().zip(snap.lines()) {
+            if a != b {
+                return Some(format!("{label}: `{a}` vs `{b}`"));
+            }
+        }
+        Some(format!(
+            "{label}: line counts differ ({} vs {})",
+            reference.lines().count(),
+            snap.lines().count()
+        ))
+    }
+}
+
+/// Re-run the rkv-fault scenario (crash + restart + 1% loss + retries)
+/// under every {event queue} × {dispatch} combination and diff the metric
+/// snapshots. Each variant gets a fresh [`Obs`]; only the mechanism knobs
+/// vary.
+pub fn diff_rkv_fault(seed: u64) -> DiffOutcome {
+    let variants = [
+        ("wheel+batched", QueueKind::Wheel, false),
+        ("heap+batched", QueueKind::Heap, false),
+        ("wheel+unbatched", QueueKind::Wheel, true),
+        ("heap+unbatched", QueueKind::Heap, true),
+    ];
+    DiffOutcome {
+        variants: variants
+            .iter()
+            .map(|&(label, kind, unbatched)| {
+                let obs = Obs::default();
+                run_rkv_fault_with(seed, &obs, kind, unbatched);
+                (label.to_string(), obs.registry().snapshot().to_jsonl())
+            })
+            .collect(),
+    }
+}
+
+/// Run a small Fig 16 grid through [`parallel_sweep`] serially and with the
+/// machine's worker count, and diff the per-cell snapshots. Each cell builds
+/// its own [`Obs`] inside the worker, so the only thing that changes between
+/// the variants is which OS thread executes which cell, in which order.
+pub fn diff_fig16_parallel(requests: u64, seed: u64) -> DiffOutcome {
+    use ipipe::sched::{Discipline, SchedConfig};
+    let dist = fig16_distribution(Fig16Card::LiquidIo, Dispersion::High);
+    let cells: Vec<(Discipline, f64)> = [
+        Discipline::FcfsOnly,
+        Discipline::DrrOnly,
+        Discipline::Hybrid,
+    ]
+    .into_iter()
+    .flat_map(|d| [(d, 0.5), (d, 0.9)])
+    .collect();
+    let run_grid = |workers: usize| -> String {
+        parallel_sweep(&cells, workers, |i, &(d, load)| {
+            let obs = Obs::default();
+            let cfg = SchedConfig::for_nic(&CN2350)
+                .with_discipline(d)
+                .no_migration();
+            let p = run_fig16_obs(&CN2350, dist, cfg, load, 8, requests, seed ^ i as u64, &obs);
+            format!(
+                "cell {i} mean={} p99={} n={}\n{}",
+                p.mean,
+                p.p99,
+                p.completed,
+                obs.registry().snapshot().to_jsonl()
+            )
+        })
+        .join("\n---\n")
+    };
+    DiffOutcome {
+        variants: vec![
+            ("serial".to_string(), run_grid(1)),
+            (
+                format!("parallel×{}", default_workers()),
+                run_grid(default_workers()),
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gate: the full fault scenario — crash, failover,
+    /// retries, redirects — exports byte-identical metrics whichever event
+    /// queue backs the DES and however dispatch is chunked.
+    #[test]
+    fn rkv_fault_is_mechanism_invariant() {
+        let out = diff_rkv_fault(7);
+        assert_eq!(out.variants.len(), 4);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+        // The snapshots carry real content, not trivially empty strings.
+        assert!(out.variants[0].1.lines().count() > 20);
+    }
+
+    /// Scenario-level pin of the sweep runner's determinism claim:
+    /// `workers = 1` and `workers = N` produce identical per-cell metric
+    /// exports for a Fig 16 grid.
+    #[test]
+    fn fig16_grid_is_schedule_invariant() {
+        let out = diff_fig16_parallel(6_000, 3);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+    }
+
+    #[test]
+    fn divergence_reporting_names_the_broken_metric() {
+        let out = DiffOutcome {
+            variants: vec![
+                ("ref".into(), "a 1\nb 2\n".into()),
+                ("same".into(), "a 1\nb 2\n".into()),
+                ("bad".into(), "a 1\nb 3\n".into()),
+            ],
+        };
+        assert!(!out.identical());
+        assert_eq!(out.divergent(), vec!["bad"]);
+        let line = out.first_divergence().unwrap();
+        assert!(line.contains("bad") && line.contains("b 2") && line.contains("b 3"));
+        assert!(out.render().contains("DIVERGED"));
+    }
+}

@@ -21,6 +21,7 @@ use ipipe_apps::rkv::lsm::KEY_LEN;
 use ipipe_netsim::FaultPlan;
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::Obs;
+use ipipe_sim::QueueKind;
 use ipipe_sim::SimTime;
 use ipipe_workload::kv::KvOp;
 
@@ -60,12 +61,27 @@ fn put_for(token: u64) -> KvOp {
 
 /// Run the scenario; metrics and traces accumulate into `obs`.
 pub fn run_rkv_fault(seed: u64, obs: &Obs) -> FaultRunStats {
+    run_rkv_fault_with(seed, obs, QueueKind::default(), false)
+}
+
+/// [`run_rkv_fault`] with the pure-mechanism knobs exposed: which event-queue
+/// implementation backs the DES and whether dispatch is batched. Neither may
+/// change a single observable — the differential oracle re-runs the scenario
+/// across all combinations and byte-diffs the metric snapshots.
+pub fn run_rkv_fault_with(
+    seed: u64,
+    obs: &Obs,
+    queue_kind: QueueKind,
+    unbatched: bool,
+) -> FaultRunStats {
     let mut c = Cluster::builder(CN2350)
         .servers(3)
         .clients(1)
         .mode(RuntimeMode::IPipe)
         .seed(seed)
         .obs(obs.clone())
+        .queue_kind(queue_kind)
+        .unbatched_dispatch(unbatched)
         .build();
     let dep = deploy_rkv_with(
         &mut c,
@@ -113,6 +129,9 @@ pub fn run_rkv_fault(seed: u64, obs: &Obs) -> FaultRunStats {
     c.run_for(SimTime::from_ms(CRASH_AT_MS));
     let before_crash = c.completions().count();
     c.run_for(SimTime::from_ms(RUN_MS - CRASH_AT_MS));
+    // Quiesce-time conservation sweep: a crash, a restart and thousands of
+    // retransmissions must still leave every ledger balanced.
+    c.audit().assert_clean();
     FaultRunStats {
         before_crash,
         done: c.completions().count(),

@@ -7,6 +7,7 @@
 
 pub mod apps_harness;
 pub mod characterization;
+pub mod differential;
 pub mod evaluation;
 pub mod fault;
 

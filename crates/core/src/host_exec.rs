@@ -10,7 +10,7 @@
 //! wall-clock benches and is a usable building block for embedding the
 //! framework in a real host process.
 
-use crate::ring::RingBuffer;
+use crate::ring::{RingBuffer, RingError};
 pub use bytes::Bytes;
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
@@ -96,10 +96,19 @@ impl Drop for HostPool {
     }
 }
 
+/// Drop counters shared by every handle of a [`SharedRing`]. The sim-side
+/// rings surface drops through the obs registry; this wall-clock endpoint is
+/// crossed by real threads, so it keeps atomics the embedder can export.
+struct SharedRingStats {
+    dropped_oversize: AtomicU64,
+    corrupt_polls: AtomicU64,
+}
+
 /// A thread-safe ring endpoint: the producer side is called from a NIC/driver
 /// thread, the consumer side from the host poller.
 pub struct SharedRing {
     inner: Arc<Mutex<RingBuffer>>,
+    stats: Arc<SharedRingStats>,
 }
 
 impl SharedRing {
@@ -107,30 +116,65 @@ impl SharedRing {
     pub fn new(capacity: u64) -> SharedRing {
         SharedRing {
             inner: Arc::new(Mutex::new(RingBuffer::new(capacity))),
+            stats: Arc::new(SharedRingStats {
+                dropped_oversize: AtomicU64::new(0),
+                corrupt_polls: AtomicU64::new(0),
+            }),
         }
     }
 
-    /// Clone the handle (both sides share the buffer).
+    /// Clone the handle (both sides share the buffer and counters).
     pub fn handle(&self) -> SharedRing {
         SharedRing {
             inner: self.inner.clone(),
+            stats: self.stats.clone(),
         }
     }
 
-    /// Producer: push a message; returns false when the (lazily synced) ring
-    /// is full and the caller should back off.
+    /// Producer: push a message; returns false when it did not go through.
+    ///
+    /// A `Full` rejection is transient — back off and retry. A `TooLarge`
+    /// rejection is permanent: no amount of consumer progress makes an
+    /// oversize message fit, so retrying it is a livelock. The message is
+    /// counted in [`SharedRing::dropped_oversize`] — check that counter
+    /// instead of retrying forever.
     pub fn push(&self, payload: &[u8]) -> bool {
-        self.inner.lock().push(payload).is_ok()
+        match self.inner.lock().push(payload) {
+            Ok(()) => true,
+            Err(RingError::TooLarge) => {
+                self.stats.dropped_oversize.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(_) => false,
+        }
     }
 
-    /// Consumer: poll one message.
+    /// Consumer: poll one message. A corrupt (torn-DMA) head-of-line
+    /// message reads as empty but is counted in
+    /// [`SharedRing::corrupt_polls`] so the condition is observable.
     pub fn poll(&self) -> Option<Vec<u8>> {
-        self.inner.lock().pop().ok().flatten().map(|(m, _)| m)
+        match self.inner.lock().pop() {
+            Ok(opt) => opt.map(|(m, _)| m),
+            Err(_) => {
+                self.stats.corrupt_polls.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Messages accepted so far.
     pub fn pushed(&self) -> u64 {
         self.inner.lock().pushed()
+    }
+
+    /// Messages rejected as permanently oversize (and therefore dropped).
+    pub fn dropped_oversize(&self) -> u64 {
+        self.stats.dropped_oversize.load(Ordering::Relaxed)
+    }
+
+    /// Polls that found a corrupt head-of-line message.
+    pub fn corrupt_polls(&self) -> u64 {
+        self.stats.corrupt_polls.load(Ordering::Relaxed)
     }
 }
 
@@ -195,6 +239,21 @@ mod tests {
         pool.wait_for(1);
         pool.shutdown();
         pool.shutdown();
+    }
+
+    #[test]
+    fn oversize_push_is_counted_not_silently_lost() {
+        // Regression: push() used to flatten TooLarge into the same `false`
+        // as Full, so a backoff-and-retry producer would livelock on an
+        // oversize message and the loss was invisible.
+        let ring = SharedRing::new(256);
+        assert!(!ring.push(&[0u8; 200]));
+        assert!(!ring.push(&[0u8; 200]));
+        assert_eq!(ring.dropped_oversize(), 2);
+        assert_eq!(ring.pushed(), 0);
+        // A fitting message still goes through fine.
+        assert!(ring.push(&[0u8; 16]));
+        assert_eq!(ring.pushed(), 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::actor::{ActorId, Request};
 use crate::dmo::migration_transfer_time;
+use ipipe_sim::audit::AuditReport;
 use ipipe_sim::obs::{Obs, Registry};
 use ipipe_sim::SimTime;
 
@@ -107,6 +108,30 @@ impl Migration {
     /// True once phase 4 completed.
     pub fn done(&self) -> bool {
         self.phase > 4
+    }
+
+    /// Check this migration's self-contained legality: the phase cursor is
+    /// within 1..=4 while the migration is tracked as active, and every
+    /// buffered request is addressed to the migrating actor (a foreign
+    /// request in the buffer would be replayed to the wrong mailbox in
+    /// phase 4). Runtime-coupled invariants — pending `MigStep` events and
+    /// the scheduler location flip — stay with the cluster-level audit,
+    /// which owns the event queue and the scheduler.
+    pub fn audit_into(&self, r: &mut AuditReport, node: u16) {
+        r.check("migrate.phase", node, (1..=4).contains(&self.phase), || {
+            format!("actor {} in illegal phase {}", self.actor, self.phase)
+        });
+        r.check(
+            "migrate.buffer",
+            node,
+            self.buffered.iter().all(|q| q.actor == self.actor),
+            || {
+                format!(
+                    "migration buffer of actor {} holds another actor's request",
+                    self.actor
+                )
+            },
+        );
     }
 
     /// Produce the report (call once done).
@@ -260,6 +285,32 @@ mod tests {
             + Migration::phase4_duration(50);
         // Fig 18: lightweight actors (filter, coordinator) land around 1-5ms.
         assert!(total < SimTime::from_ms(5), "total={total}");
+    }
+
+    #[test]
+    fn audit_flags_illegal_phase_and_foreign_buffered_request() {
+        let mut m = Migration::start(3, MigrationDir::Push, SimTime::ZERO);
+        let mut r = AuditReport::new(SimTime::ZERO);
+        m.audit_into(&mut r, 0);
+        assert!(r.is_clean(), "fresh migration must audit clean: {r:?}");
+
+        // A request addressed to a different actor in the forward buffer
+        // would be replayed into the wrong mailbox in phase 4.
+        m.buffered.push(Request {
+            actor: 9,
+            flow: 0,
+            wire_size: 64,
+            arrived: SimTime::ZERO,
+            reply_to: None,
+            token: 1,
+            payload: None,
+        });
+        m.phase = 7;
+        let mut r = AuditReport::new(SimTime::ZERO);
+        m.audit_into(&mut r, 0);
+        let names: Vec<&str> = r.violations().iter().map(|v| v.invariant).collect();
+        assert!(names.contains(&"migrate.phase"), "{names:?}");
+        assert!(names.contains(&"migrate.buffer"), "{names:?}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! from the card's hardware-assisted send/recv model (Fig 6).
 
 use ipipe_nicsim::spec::NicSpec;
+use ipipe_sim::audit::AuditReport;
 use ipipe_sim::SimTime;
 
 /// Ethernet(14) + IPv4(20) + UDP(8) bytes prepended to every payload.
@@ -164,6 +165,29 @@ impl Wqe {
         self.header.is_some() as usize + self.segments.len()
     }
 
+    /// Byte-conservation check for a WQE about to transmit: the header's
+    /// declared payload length must equal the scatter-gather segment total,
+    /// otherwise [`Wqe::assemble`] would either truncate or pad the frame on
+    /// a real PKO. Exposed as an audit check so embedders can sweep staged
+    /// WQEs at quiesce the same way the cluster audit sweeps its rings.
+    pub fn audit_into(&self, r: &mut AuditReport, node: u16) {
+        let declared = self
+            .header
+            .map(|h| u16::from_be_bytes([h[16], h[17]]) as usize - 28);
+        r.check(
+            "nstack.wqe.len",
+            node,
+            declared.is_none_or(|d| d == self.payload_len()),
+            || {
+                format!(
+                    "header declares {:?} payload bytes but segments hold {}",
+                    declared,
+                    self.payload_len()
+                )
+            },
+        );
+    }
+
     /// Assemble the on-wire frame (what the PKO emits). Errors if no header
     /// was attached or the declared payload length disagrees with the
     /// segments.
@@ -223,6 +247,34 @@ mod tests {
         });
         w.push_segment(b"toolong".to_vec());
         assert!(w.assemble().is_err());
+    }
+
+    #[test]
+    fn wqe_audit_flags_declared_length_drift() {
+        use ipipe_sim::SimTime;
+        let mut w = Wqe::new();
+        let mut r = AuditReport::new(SimTime::ZERO);
+        w.audit_into(&mut r, 0);
+        assert!(r.is_clean(), "headerless WQE has nothing to disagree with");
+
+        w.set_header(WqeHeader {
+            src_node: 0,
+            dst_node: 1,
+            flow: 0,
+            actor: 0,
+            payload_len: 4,
+        });
+        w.push_segment(b"1234".to_vec());
+        let mut r = AuditReport::new(SimTime::ZERO);
+        w.audit_into(&mut r, 0);
+        assert!(r.is_clean());
+
+        w.push_segment(b"extra".to_vec());
+        let mut r = AuditReport::new(SimTime::ZERO);
+        w.audit_into(&mut r, 3);
+        assert!(!r.is_clean());
+        assert_eq!(r.violations()[0].invariant, "nstack.wqe.len");
+        assert_eq!(r.violations()[0].node, 3);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   4-byte checksum over its payload to detect torn reads.
 
 use ipipe_nicsim::crypto::crc32;
+use ipipe_sim::audit::AuditReport;
 
 /// Errors surfaced by ring operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +168,58 @@ impl RingBuffer {
     pub fn popped(&self) -> u64 {
         self.popped
     }
+
+    /// Structural conservation audit: cursor ordering, occupancy bounds,
+    /// and a full header walk of the in-flight region proving that exactly
+    /// `pushed − popped` well-framed messages sit between `head` and `tail`
+    /// (`invariant` labels the ring, e.g. `"ring.to_host"`).
+    pub fn audit_into(&self, r: &mut AuditReport, node: u16, invariant: &'static str) {
+        r.check(invariant, node, self.head <= self.tail, || {
+            format!("head {} ahead of tail {}", self.head, self.tail)
+        });
+        r.check(
+            invariant,
+            node,
+            self.head_seen <= self.head && self.occupied() <= self.capacity(),
+            || {
+                format!(
+                    "cursors out of bounds: head_seen {} head {} tail {} cap {}",
+                    self.head_seen,
+                    self.head,
+                    self.tail,
+                    self.capacity()
+                )
+            },
+        );
+        // Walk the framed messages from head to tail. Push writes a message
+        // atomically, so every in-flight frame must parse.
+        let mut at = self.head;
+        let mut frames = 0u64;
+        while at + HDR_BYTES <= self.tail {
+            let hdr = self.read_wrapped(at, HDR_BYTES);
+            let len = u32::from_le_bytes(hdr[..4].try_into().expect("4B")) as u64;
+            if at + HDR_BYTES + len > self.tail {
+                break; // torn frame: the walk stops and the count mismatches
+            }
+            at += HDR_BYTES + len;
+            frames += 1;
+        }
+        r.check(
+            invariant,
+            node,
+            at == self.tail && frames == self.pushed - self.popped,
+            || {
+                format!(
+                    "framing walk covered {} of {} occupied bytes, {} frames != pushed {} - popped {}",
+                    at - self.head,
+                    self.occupied(),
+                    frames,
+                    self.pushed,
+                    self.popped
+                )
+            },
+        );
+    }
 }
 
 /// A bidirectional I/O channel: NIC→host and host→NIC rings (§3.5: "iPipe
@@ -267,6 +320,37 @@ mod tests {
         assert_eq!(r.occupied(), 9);
         let (p, _) = r.pop().unwrap().unwrap();
         assert_eq!(p, b"x");
+    }
+
+    #[test]
+    fn ledger_holds_under_wraparound() {
+        // pushed − popped must equal the number of framed messages in the
+        // occupied region at every step, across many cursor wraps.
+        let mut r = RingBuffer::new(256);
+        let mut rng = ipipe_sim::DetRng::new(11);
+        for step in 0..2000 {
+            if rng.chance(0.6) {
+                let len = rng.below(60) as usize;
+                let _ = r.push(&vec![step as u8; len]);
+            } else {
+                let _ = r.pop().unwrap();
+            }
+            let mut rep = AuditReport::new(ipipe_sim::SimTime::ZERO);
+            r.audit_into(&mut rep, 0, "ring.test");
+            rep.assert_clean();
+            assert!(r.occupied() <= r.capacity());
+        }
+        assert!(r.tail > r.capacity(), "cursors should have wrapped");
+    }
+
+    #[test]
+    fn audit_catches_cursor_drift() {
+        let mut r = RingBuffer::new(256);
+        r.push(&[1u8; 16]).unwrap();
+        r.pushed += 1; // inject a phantom message
+        let mut rep = AuditReport::new(ipipe_sim::SimTime::ZERO);
+        r.audit_into(&mut rep, 0, "ring.test");
+        assert!(!rep.is_clean(), "phantom push must be detected");
     }
 
     #[test]

@@ -24,8 +24,9 @@ use ipipe_netsim::{Delivery, FaultPlan, NetModel, NodeId, Packet, PacketKind};
 use ipipe_nicsim::dma::{DmaEngine, DmaOp};
 use ipipe_nicsim::host::HostCpuAccounting;
 use ipipe_nicsim::spec::{HostSpec, NicSpec, HOST_XEON};
+use ipipe_sim::audit::{AuditReport, CLUSTER_WIDE};
 use ipipe_sim::obs::{Counter, Gauge, HistHandle, Obs, TraceLevel};
-use ipipe_sim::{DetRng, EventQueue, Histogram, SimTime};
+use ipipe_sim::{AnyEventQueue, DetRng, Histogram, QueueKind, SimTime};
 use std::collections::HashMap;
 
 /// Chrome-trace lane (`tid`) offset for host cores, so NIC cores and host
@@ -130,6 +131,11 @@ struct ClientRetry {
 pub struct CompletionStats {
     issued: u64,
     done: u64,
+    /// Lifetime completions, never reset by `reset_measurements` (unlike
+    /// `done`, which only counts the measurement window). The audit's client
+    /// conservation ledger needs the lifetime figure:
+    /// `issued == completed + abandoned + in-flight`.
+    completed: u64,
     hist: HistHandle,
 }
 
@@ -202,6 +208,10 @@ struct RtMetrics {
     nic_forward: Counter,
     host_exec: Counter,
     watchdog_kills: Counter,
+    /// Requests dropped because their actor no longer exists at dispatch
+    /// time (e.g. killed by the watchdog with work still queued). Surfacing
+    /// these keeps the conservation ledgers exact.
+    drop_no_actor: Counter,
 }
 
 impl RtMetrics {
@@ -217,6 +227,7 @@ impl RtMetrics {
             nic_forward: r.counter_on("rt.forward.nic", node),
             host_exec: r.counter_on("rt.exec.host", node),
             watchdog_kills: r.counter_on("rt.watchdog.kills", node),
+            drop_no_actor: r.counter_on("rt.drop.no_actor", node),
         }
     }
 }
@@ -240,6 +251,13 @@ struct NodeRt {
     migration_reports: Vec<MigrationReport>,
     ring_depth: u64,
     ring_messages: u64,
+    /// Requests the dispatcher asked to buffer for a migration that is not
+    /// (yet, or no longer) the active one — e.g. the migration decision is
+    /// still in the action queue, or another actor's migration is running
+    /// and the mark will be refused. Resolved by `apply_action` within the
+    /// same event, so this is always empty at event-loop boundaries (the
+    /// audit asserts it).
+    pending_buffered: Vec<Request>,
 }
 
 /// Simulation events.
@@ -293,6 +311,8 @@ pub struct ClusterBuilder {
     seed: u64,
     region_bytes: u64,
     obs: Option<Obs>,
+    queue: QueueKind,
+    unbatched: bool,
 }
 
 impl ClusterBuilder {
@@ -346,6 +366,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Which event-queue implementation drives the simulation (defaults to
+    /// the timing wheel). The heap reference exists for the differential
+    /// oracle: results must be byte-identical under either kind.
+    pub fn queue_kind(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
+    /// Dispatch events one at a time instead of per-timestamp batches
+    /// (defaults to batched). Another differential-oracle axis: batching is
+    /// a mechanism optimization that must not change results.
+    pub fn unbatched_dispatch(mut self, unbatched: bool) -> Self {
+        self.unbatched = unbatched;
+        self
+    }
+
     /// Assemble the cluster.
     pub fn build(self) -> Cluster {
         assert!(self.servers >= 1 && self.clients >= 1);
@@ -373,6 +409,7 @@ impl ClusterBuilder {
                 migration_reports: Vec::new(),
                 ring_depth: 0,
                 ring_messages: 0,
+                pending_buffered: Vec::new(),
             })
             .collect();
         let mut net = NetModel::new(self.servers + self.clients, self.spec.link_gbps);
@@ -386,11 +423,13 @@ impl ClusterBuilder {
             n_servers: self.servers,
             n_clients: self.clients,
             net,
-            events: EventQueue::new(),
+            events: AnyEventQueue::new(self.queue),
+            unbatched: self.unbatched,
             clients: (0..self.clients).map(|_| None).collect(),
             completions: CompletionStats {
                 issued: 0,
                 done: 0,
+                completed: 0,
                 hist: obs.registry().hist("client.latency"),
             },
             fault_metrics: FaultMetrics::new(&obs),
@@ -401,6 +440,7 @@ impl ClusterBuilder {
             kills: Vec::new(),
             ev_batch: Vec::new(),
             action_scratch: Vec::new(),
+            rx_frames: 0,
         }
     }
 }
@@ -447,7 +487,9 @@ pub struct Cluster {
     n_servers: usize,
     n_clients: usize,
     net: NetModel,
-    events: EventQueue<Ev>,
+    events: AnyEventQueue<Ev>,
+    /// Dispatch one event per pop instead of per-timestamp batches.
+    unbatched: bool,
     clients: Vec<Option<ClientState>>,
     completions: CompletionStats,
     fault_metrics: FaultMetrics,
@@ -460,6 +502,10 @@ pub struct Cluster {
     ev_batch: Vec<Ev>,
     /// Reusable scheduler-action buffer drained after each NIC completion.
     action_scratch: Vec<Action>,
+    /// Frames processed off the wire (`Deliver` + `DeliverCorrupt` events
+    /// handled). One side of the audit's frame ledger: every frame the
+    /// network accounted as delivered must be processed or still pending.
+    rx_frames: u64,
 }
 
 impl Cluster {
@@ -482,6 +528,8 @@ impl Cluster {
             seed: 0xA11CE,
             region_bytes: 64 << 20,
             obs: None,
+            queue: QueueKind::Wheel,
+            unbatched: false,
         }
     }
 
@@ -552,18 +600,29 @@ impl Cluster {
 
     /// Install a closed-loop generator on client `client` keeping
     /// `outstanding` requests in flight.
+    ///
+    /// Replacing a generator mid-run keeps the old requests' ledger: the
+    /// in-flight map, the token allocator (new tokens must not collide with
+    /// live ones) and any retry state carry over, and the old requests drain
+    /// through the normal completion path while the closed loop re-gates on
+    /// the new `outstanding`. Only the generator and the target depth change.
     pub fn set_client(&mut self, client: usize, gen: ClientGenFn, outstanding: u32) {
         assert!(client < self.n_clients);
         let rng = self.rng.fork();
+        let (next_token, inflight, retry) = match self.clients[client].take() {
+            Some(old) => (old.next_token, old.inflight, old.retry),
+            None => (0, HashMap::new(), None),
+        };
+        let carried = inflight.len() as u32;
         self.clients[client] = Some(ClientState {
             gen,
             outstanding,
-            next_token: 0,
-            inflight: HashMap::new(),
+            next_token,
+            inflight,
             rng,
-            retry: None,
+            retry,
         });
-        for _ in 0..outstanding {
+        for _ in 0..outstanding.saturating_sub(carried) {
             self.events.schedule_after(
                 SimTime::ZERO,
                 Ev::Issue {
@@ -631,19 +690,34 @@ impl Cluster {
     /// firing order of the one-pop-per-event loop this replaces.
     pub fn run_for(&mut self, dur: SimTime) {
         let end = self.events.now() + dur;
-        let mut batch = std::mem::take(&mut self.ev_batch);
-        loop {
-            match self.events.peek_time() {
-                Some(at) if at <= end => {
-                    let now = self.events.pop_batch(&mut batch).expect("peeked");
-                    for ev in batch.drain(..) {
+        if self.unbatched {
+            // Differential-oracle twin: pop one event at a time. Events in
+            // a same-instant burst are handled in identical (time, seq)
+            // order, so results must match the batched loop byte-for-byte.
+            loop {
+                match self.events.peek_time() {
+                    Some(at) if at <= end => {
+                        let (now, ev) = self.events.pop().expect("peeked");
                         self.handle(now, ev);
                     }
+                    _ => break,
                 }
-                _ => break,
             }
+        } else {
+            let mut batch = std::mem::take(&mut self.ev_batch);
+            loop {
+                match self.events.peek_time() {
+                    Some(at) if at <= end => {
+                        let now = self.events.pop_batch(&mut batch).expect("peeked");
+                        for ev in batch.drain(..) {
+                            self.handle(now, ev);
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            self.ev_batch = batch;
         }
-        self.ev_batch = batch;
         self.events.advance_to(end);
     }
 
@@ -661,6 +735,190 @@ impl Cluster {
     /// Client-side completion statistics.
     pub fn completions(&self) -> &CompletionStats {
         &self.completions
+    }
+
+    /// Run the conservation audit: every ledger the cluster keeps is checked
+    /// against ground truth reconstructed from the pending event queue.
+    ///
+    /// The pass is semantically invisible — pending events are drained
+    /// (without advancing time) for tallying and re-scheduled in firing
+    /// order, so a run behaves identically whether or not it was audited
+    /// mid-flight. Scenario tests call this at quiesce;
+    /// [`AuditReport::assert_clean`] turns any violation into a panic with
+    /// the full rendered report.
+    ///
+    /// Invariants checked (see DESIGN.md §11 for the catalog):
+    /// * `client.conservation` — issued == completed + abandoned + in-flight
+    /// * `net.frames` — frames the network accounted as sent are processed,
+    ///   still pending delivery, or dropped with a reason counter
+    /// * `ring.depth` — per-node NIC→host ring occupancy equals the pending
+    ///   `RingToHost` crossings
+    /// * `core.token.{nic,host}` — a busy core holds exactly one pending
+    ///   free event; an idle core holds none
+    /// * `migrate.*` — phase legality, exactly one step event per active
+    ///   migration, location consistency, buffered-request ownership, and an
+    ///   empty dispatcher stash at event boundaries
+    /// * scheduler ledgers via [`NicScheduler::audit_into`]
+    pub fn audit(&mut self) -> AuditReport {
+        let mut r = AuditReport::new(self.events.now());
+        let n_nodes = self.nodes.len();
+        let mut ring_to_host = vec![0u64; n_nodes];
+        let mut mig_steps = vec![0u64; n_nodes];
+        let mut nic_free: Vec<Vec<u64>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![0u64; n.nic_inflight.len()])
+            .collect();
+        let mut host_free: Vec<Vec<u64>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![0u64; n.host_inflight.len()])
+            .collect();
+        let mut pending_frames = 0u64;
+        for (at, ev) in self.events.drain_pending() {
+            match &ev {
+                Ev::RingToHost { node, .. } => ring_to_host[*node as usize] += 1,
+                Ev::NicFree { node, core } => nic_free[*node as usize][*core as usize] += 1,
+                Ev::HostFree { node, core } => host_free[*node as usize][*core as usize] += 1,
+                Ev::MigStep { node } => mig_steps[*node as usize] += 1,
+                Ev::Deliver { .. } | Ev::DeliverCorrupt { .. } => pending_frames += 1,
+                _ => {}
+            }
+            // Fresh sequence numbers preserve the drain's firing order, so
+            // the re-scheduled queue pops identically.
+            self.events.schedule_at(at, ev);
+        }
+
+        for (i, n) in self.nodes.iter().enumerate() {
+            let node = i as u16;
+            r.check("ring.depth", node, n.ring_depth == ring_to_host[i], || {
+                format!(
+                    "ring_depth {} != pending RingToHost {}",
+                    n.ring_depth, ring_to_host[i]
+                )
+            });
+            for (core, slot) in n.nic_inflight.iter().enumerate() {
+                let want = u64::from(slot.is_some());
+                r.check("core.token.nic", node, nic_free[i][core] == want, || {
+                    format!(
+                        "core {core}: busy={} but {} pending NicFree",
+                        slot.is_some(),
+                        nic_free[i][core]
+                    )
+                });
+            }
+            for (core, slot) in n.host_inflight.iter().enumerate() {
+                let want = u64::from(slot.is_some());
+                r.check("core.token.host", node, host_free[i][core] == want, || {
+                    format!(
+                        "core {core}: busy={} but {} pending HostFree",
+                        slot.is_some(),
+                        host_free[i][core]
+                    )
+                });
+            }
+            match &n.active_migration {
+                Some(m) => {
+                    m.audit_into(&mut r, node);
+                    r.check("migrate.step", node, mig_steps[i] == 1, || {
+                        format!(
+                            "active migration of actor {} has {} pending MigStep events",
+                            m.actor, mig_steps[i]
+                        )
+                    });
+                    r.check(
+                        "migrate.location",
+                        node,
+                        n.sched.location(m.actor) == Some(Loc::Migrating),
+                        || {
+                            format!(
+                                "migrating actor {} has scheduler location {:?}",
+                                m.actor,
+                                n.sched.location(m.actor)
+                            )
+                        },
+                    );
+                }
+                None => {
+                    r.check("migrate.step", node, mig_steps[i] == 0, || {
+                        format!(
+                            "{} stale MigStep events with no active migration",
+                            mig_steps[i]
+                        )
+                    });
+                }
+            }
+            r.check("migrate.stash", node, n.pending_buffered.is_empty(), || {
+                format!(
+                    "{} requests stranded in the dispatcher's migration stash",
+                    n.pending_buffered.len()
+                )
+            });
+            n.sched.audit_into(&mut r, node);
+        }
+
+        let inflight: u64 = self
+            .clients
+            .iter()
+            .flatten()
+            .map(|s| s.inflight.len() as u64)
+            .sum();
+        let abandoned = self.fault_metrics.abandoned.get();
+        r.check(
+            "client.conservation",
+            CLUSTER_WIDE,
+            self.completions.issued == self.completions.completed + abandoned + inflight,
+            || {
+                format!(
+                    "issued {} != completed {} + abandoned {} + in-flight {}",
+                    self.completions.issued, self.completions.completed, abandoned, inflight
+                )
+            },
+        );
+
+        // Frame ledger: every frame the network accounted (`net.packets`
+        // counts serialized frames, including lossy and corrupted ones, but
+        // not link/node-down drops) was either processed at an ingress,
+        // is still pending delivery, or was dropped by the loss fault.
+        let sent = self.net.packets_sent();
+        let loss = self.obs.registry().counter("fault.drop.loss").get();
+        r.check(
+            "net.frames",
+            CLUSTER_WIDE,
+            self.rx_frames + pending_frames + loss == sent,
+            || {
+                format!(
+                    "processed {} + pending {} + lost {} != sent {}",
+                    self.rx_frames, pending_frames, loss, sent
+                )
+            },
+        );
+
+        // Internal-vs-registry cross-check of the link-layer counters.
+        self.net.audit_into(&mut r);
+
+        r.record_to(&self.obs);
+        r
+    }
+
+    /// Test-only leak hook: silently discard one in-flight client request,
+    /// bypassing every ledger. The audit must flag the imbalance — the
+    /// proptest suite uses this to prove the checker detects real leaks.
+    /// Returns false when the client has nothing in flight.
+    #[doc(hidden)]
+    pub fn debug_drop_inflight(&mut self, client: usize) -> bool {
+        let Some(Some(state)) = self.clients.get_mut(client) else {
+            return false;
+        };
+        // Smallest token for determinism across runs.
+        let Some(token) = state.inflight.keys().min().copied() else {
+            return false;
+        };
+        state.inflight.remove(&token);
+        if let Some(retry) = state.retry.as_mut() {
+            retry.slots.remove(&token);
+        }
+        true
     }
 
     /// Measured wall time since the last reset.
@@ -710,6 +968,7 @@ impl Cluster {
         }
         node.sched.set_location(addr.actor, Loc::Migrating);
         node.active_migration = Some(Migration::start(addr.actor, MigrationDir::Push, now));
+        self.claim_pending_buffered(addr.node, addr.actor);
         self.events.schedule_after(
             Migration::phase1_duration(),
             Ev::MigStep { node: addr.node },
@@ -837,6 +1096,7 @@ impl Cluster {
     /// header codec, which must reject it. The PKI discards rejected frames
     /// before core dispatch, so no scheduler work is generated.
     fn handle_deliver_corrupt(&mut self, node: u16, src: u16, wire_size: u32, flip: u8) {
+        self.rx_frames += 1;
         let hdr = crate::nstack::build_headers(crate::nstack::WqeHeader {
             src_node: src,
             dst_node: node,
@@ -935,6 +1195,7 @@ impl Cluster {
     }
 
     fn handle_deliver(&mut self, now: SimTime, node: u16, mut req: Request) {
+        self.rx_frames += 1;
         if node as usize >= self.n_servers {
             // Response reached a client.
             let client = node as usize - self.n_servers;
@@ -970,6 +1231,7 @@ impl Cluster {
             }
             if let Some(state) = self.clients[client].as_mut() {
                 if let Some(issued) = state.inflight.remove(&req.token) {
+                    self.completions.completed += 1;
                     if let Some(retry) = state.retry.as_mut() {
                         retry.slots.remove(&req.token);
                     }
@@ -1035,8 +1297,16 @@ impl Cluster {
                 None => return,
                 Some(Work::Buffer(req)) => {
                     let n = &mut self.nodes[node as usize];
-                    if let Some(m) = n.active_migration.as_mut() {
-                        m.buffered.push(req);
+                    match n.active_migration.as_mut() {
+                        // Only the migrating actor's own requests belong in
+                        // the migration buffer; a request for a *different*
+                        // actor marked `Migrating` (its migration decision
+                        // is still in the action queue, or will be refused
+                        // because this one is active) would otherwise be
+                        // forwarded to the wrong destination — or, with no
+                        // active migration at all, silently dropped.
+                        Some(m) if m.actor == req.actor => m.buffered.push(req),
+                        _ => n.pending_buffered.push(req),
                     }
                     // Buffering is nearly free; keep looking for real work.
                     continue;
@@ -1098,9 +1368,14 @@ impl Cluster {
             dmo,
             rng,
             watchdog,
+            metrics,
             ..
         } = n;
         let Some(slot) = actors.get_mut(&actor) else {
+            // The actor vanished between dispatch and execution (watchdog
+            // kill). The request is unrecoverable — count the drop so the
+            // conservation ledger stays exact instead of losing it silently.
+            metrics.drop_no_actor.inc();
             return;
         };
         watchdog.arm(core, actor, now);
@@ -1207,20 +1482,69 @@ impl Cluster {
         }
     }
 
+    /// Fold stashed requests for `actor` into its now-active migration's
+    /// buffer (see `NodeRt::pending_buffered`).
+    fn claim_pending_buffered(&mut self, node: u16, actor: ActorId) {
+        let n = &mut self.nodes[node as usize];
+        if n.pending_buffered.is_empty() {
+            return;
+        }
+        let stash = std::mem::take(&mut n.pending_buffered);
+        let (mine, rest): (Vec<_>, Vec<_>) = stash.into_iter().partition(|r| r.actor == actor);
+        n.pending_buffered = rest;
+        if let Some(m) = n.active_migration.as_mut() {
+            debug_assert_eq!(m.actor, actor, "claim for the active migration only");
+            m.buffered.extend(mine);
+        }
+    }
+
+    /// Re-inject stashed requests for `actor` into the dispatcher after its
+    /// migration mark was refused or its migration ended.
+    fn reinject_pending_buffered(&mut self, now: SimTime, node: u16, actor: ActorId) {
+        let stash = {
+            let n = &mut self.nodes[node as usize];
+            if n.pending_buffered.is_empty() {
+                return;
+            }
+            std::mem::take(&mut n.pending_buffered)
+        };
+        let (mine, rest): (Vec<_>, Vec<_>) = stash.into_iter().partition(|r| r.actor == actor);
+        self.nodes[node as usize].pending_buffered = rest;
+        if mine.is_empty() {
+            return;
+        }
+        for mut req in mine {
+            req.arrived = now;
+            self.nodes[node as usize].sched.on_arrival(now, req);
+        }
+        self.kick_nic(now, node);
+    }
+
     fn apply_action(&mut self, now: SimTime, node: u16, action: Action) {
         match action {
             Action::PushMigrate(actor) => {
-                let n = &mut self.nodes[node as usize];
-                if n.active_migration.is_some() || now < n.mig_cooldown_until {
-                    // Already migrating something; let the actor run again.
-                    n.sched.set_location(actor, Loc::Nic);
+                let refused = {
+                    let n = &mut self.nodes[node as usize];
+                    if n.active_migration.is_some() || now < n.mig_cooldown_until {
+                        // Already migrating something; let the actor run again.
+                        n.sched.set_location(actor, Loc::Nic);
+                        true
+                    } else if n.actors.get(&actor).map(|s| s.pinned_host).unwrap_or(true) {
+                        n.sched.set_location(actor, Loc::Nic);
+                        true
+                    } else {
+                        n.active_migration = Some(Migration::start(actor, MigrationDir::Push, now));
+                        false
+                    }
+                };
+                if refused {
+                    // Requests buffered while the mark was pending go back
+                    // to the dispatcher — dropping them here was exactly the
+                    // silent-loss class the audit hunts.
+                    self.reinject_pending_buffered(now, node, actor);
                     return;
                 }
-                if n.actors.get(&actor).map(|s| s.pinned_host).unwrap_or(true) {
-                    n.sched.set_location(actor, Loc::Nic);
-                    return;
-                }
-                n.active_migration = Some(Migration::start(actor, MigrationDir::Push, now));
+                self.claim_pending_buffered(node, actor);
                 self.events
                     .schedule_after(Migration::phase1_duration(), Ev::MigStep { node });
             }
@@ -1250,6 +1574,7 @@ impl Cluster {
                 }
                 n.sched.set_location(victim, Loc::Migrating);
                 n.active_migration = Some(Migration::start(victim, MigrationDir::Pull, now));
+                self.claim_pending_buffered(node, victim);
                 self.events
                     .schedule_after(Migration::phase1_duration(), Ev::MigStep { node });
             }
@@ -1279,17 +1604,17 @@ impl Cluster {
                 1 => {
                     m.complete_phase(Migration::phase1_duration());
                     // Phase 2: drain the actor's mailbox (requests already
-                    // dispatched into it get executed before the move).
-                    let (queued, mean) = n
+                    // dispatched into it get executed before the move). The
+                    // drain goes through the scheduler so the requests are
+                    // credited to its `buffered` counter — a raw mailbox
+                    // drain leaks them from the arrivals ledger.
+                    let mean = n
                         .sched
-                        .actor_mut(m.actor)
-                        .map(|a| (a.mailbox.len(), a.stats.mean()))
-                        .unwrap_or((0, SimTime::ZERO));
-                    let drained = n
-                        .sched
-                        .actor_mut(m.actor)
-                        .map(|a| a.mailbox.drain())
-                        .unwrap_or_default();
+                        .actor(m.actor)
+                        .map(|a| a.stats.mean())
+                        .unwrap_or(SimTime::ZERO);
+                    let drained = n.sched.drain_mailbox_for_migration(m.actor);
+                    let queued = drained.len();
                     m.buffered.splice(0..0, drained);
                     Next::Schedule(Migration::phase2_duration(queued, mean))
                 }
@@ -1368,6 +1693,7 @@ impl Cluster {
             req.arrived = now;
             self.nodes[node as usize].sched.on_arrival(now, req);
         }
+        self.reinject_pending_buffered(now, node, actor);
         if let Some(up) = self.net.down_until(node, now) {
             self.events
                 .schedule_at(up + SimTime::from_us(1), Ev::MigRetry { node, actor });
@@ -1416,10 +1742,17 @@ impl Cluster {
                 Loc::Host => {
                     let xfer = ring_to_host_latency(self.spec, req.wire_size);
                     let n = &mut self.nodes[node as usize];
+                    // Every scheduled RingToHost must increment ring_depth:
+                    // the handler decrements unconditionally, so a missed
+                    // increment here drifted the occupancy gauge low (masked
+                    // by its saturating decrement) — the audit's
+                    // `ring.depth` ledger pins this.
+                    n.ring_depth += 1;
                     n.ring_messages += 1;
                     n.metrics.ring_to_host.inc();
                     n.metrics.ring_to_host_bytes.add(req.wire_size as u64);
                     n.metrics.ring_xfer.record(xfer);
+                    n.metrics.ring_depth.set(n.ring_depth as i64);
                     self.events
                         .schedule_after(delay + xfer, Ev::RingToHost { node, req });
                 }
@@ -1429,6 +1762,7 @@ impl Cluster {
                 }
             }
         }
+        self.reinject_pending_buffered(now, node, actor);
         self.kick_nic(now, node);
     }
 
@@ -1449,9 +1783,9 @@ impl Cluster {
         if self.nodes[node as usize].host_inflight[core as usize].is_some() {
             return;
         }
-        let mut queue_core = core as usize;
-        {
+        let mut req = loop {
             let n = &mut self.nodes[node as usize];
+            let mut queue_core = core as usize;
             if n.host_queues[queue_core].is_empty() {
                 // Work stealing (ZygOS-style, §3.2.6): scan other queues.
                 match (0..n.host_queues.len()).find(|&c| !n.host_queues[c].is_empty()) {
@@ -1459,19 +1793,30 @@ impl Cluster {
                     None => return,
                 }
             }
-        }
-        let mut req = {
-            let n = &mut self.nodes[node as usize];
-            n.host_queues[queue_core].pop_front().expect("checked")
+            let req = n.host_queues[queue_core].pop_front().expect("checked");
+            if n.actors.contains_key(&req.actor) {
+                break req;
+            }
+            // The queued request's actor no longer exists (watchdog kill,
+            // deregistration): drop it *with accounting* and keep scanning —
+            // one dead entry must not stall the rest of the queue.
+            n.metrics.drop_no_actor.inc();
         };
         let actor = req.actor;
         let arrived = req.arrived;
         let wire = req.wire_size;
         let n = &mut self.nodes[node as usize];
         let NodeRt {
-            actors, dmo, rng, ..
+            actors,
+            dmo,
+            rng,
+            metrics,
+            ..
         } = n;
         let Some(slot) = actors.get_mut(&actor) else {
+            // Existence was just checked; unreachable, but keep the ledger
+            // exact rather than losing the request silently.
+            metrics.drop_no_actor.inc();
             return;
         };
         let mut ctx = ActorCtx::new(now, actor, node, dmo, rng);
@@ -1604,10 +1949,14 @@ impl Cluster {
                             Some(Loc::Host) => {
                                 let xfer = ring_to_host_latency(self.spec, wire_size);
                                 let n = &mut self.nodes[node as usize];
+                                // Pair the handler's unconditional decrement
+                                // (see the finish_migration forward path).
+                                n.ring_depth += 1;
                                 n.ring_messages += 1;
                                 n.metrics.ring_to_host.inc();
                                 n.metrics.ring_to_host_bytes.add(wire_size as u64);
                                 n.metrics.ring_xfer.record(xfer);
+                                n.metrics.ring_depth.set(n.ring_depth as i64);
                                 self.events
                                     .schedule_at(now + xfer, Ev::RingToHost { node, req });
                             }
@@ -1867,6 +2216,40 @@ mod tests {
         assert!(c.completions().mean() > SimTime::from_us(2));
         assert!(c.completions().p99() >= c.completions().p50());
         assert_eq!(c.actor_location(a), Some(Loc::Nic));
+    }
+
+    /// Pinned regression (found by `Cluster::audit`): replacing a client
+    /// generator mid-run used to reset the in-flight ledger and the token
+    /// allocator, leaking every request still on the wire — `issued` ran
+    /// ahead of `completed + abandoned + in-flight` by exactly the old
+    /// depth. The replacement must carry the ledger over and let the old
+    /// requests drain through the normal completion path.
+    #[test]
+    fn mid_run_generator_swap_conserves_inflight_requests() {
+        let (mut c, a) = echo_cluster(2);
+        let gen = move || -> ClientGenFn {
+            Box::new(move |rng, _| ClientReq {
+                dst: a,
+                wire_size: 512,
+                flow: rng.below(1 << 20),
+                payload: None,
+            })
+        };
+        c.set_client(0, gen(), 96);
+        c.run_for(SimTime::from_ms(5));
+        // Swap to a shallower loop while 96 requests are still in flight.
+        c.set_client(0, gen(), 2);
+        let at_swap = c.completions().count();
+        c.run_for(SimTime::from_ms(5));
+        assert!(
+            c.completions().count() > at_swap,
+            "loop must keep flowing after the swap"
+        );
+        c.audit().assert_clean();
+        // And the deepening direction: 2 -> 64 tops the loop back up.
+        c.set_client(0, gen(), 64);
+        c.run_for(SimTime::from_ms(5));
+        c.audit().assert_clean();
     }
 
     #[test]
@@ -2358,5 +2741,108 @@ mod tests {
             c.completions().issued(),
             "every request bounced once"
         );
+    }
+
+    #[test]
+    fn audit_stays_clean_across_forced_migration() {
+        // Regression: requests buffered during a push migration used to be
+        // forwarded to the host at phase 4 without incrementing
+        // `ring_depth` (the handler then decremented it with a saturating
+        // sub, silently masking the drift), and the phase-1 mailbox drain
+        // bypassed the scheduler's buffered counter. Both leaks are caught
+        // by `ring.depth` / `sched.arrivals` when auditing around a live
+        // migration.
+        let cfg = SchedConfig::for_nic(&CN2350).no_migration();
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .sched(cfg)
+            .seed(7)
+            .build();
+        let a = c.register_actor(
+            0,
+            "stateful-echo",
+            Box::new(StatefulEcho {
+                cost: SimTime::from_us(3),
+            }),
+            Placement::Nic,
+        );
+        echo_client(&mut c, a, 16);
+        c.run_for(SimTime::from_ms(1));
+        c.audit().assert_clean();
+        assert!(c.force_migrate(a));
+        // Mid-migration: phase legality, step tokens, and the buffered
+        // ledger are all live here.
+        c.run_for(SimTime::from_us(40));
+        c.audit().assert_clean();
+        c.run_for(SimTime::from_ms(30));
+        assert_eq!(c.actor_location(a), Some(Loc::Host));
+        assert!(c.completions().count() > 0);
+        c.audit().assert_clean();
+    }
+
+    #[test]
+    fn audit_stays_clean_after_watchdog_kill_with_queued_work() {
+        // Regression: a watchdog kill with work still queued used to leak
+        // from three ledgers at once — `deregister` discarded shared-queue
+        // requests without counting them, and the NIC/host dispatch paths
+        // silently dropped already-popped requests whose actor had died.
+        let mut c = Cluster::builder(CN2350)
+            .servers(1)
+            .clients(1)
+            .seed(5)
+            .build();
+        let bad = c.register_actor(0, "bad", Box::new(Malicious), Placement::Nic);
+        echo_client(&mut c, bad, 8);
+        c.run_for(SimTime::from_ms(20));
+        assert_eq!(c.watchdog_kills(), &[(0, bad.actor)]);
+        c.audit().assert_clean();
+        // The kill left queued requests behind; they must appear in a drop
+        // counter rather than vanish.
+        let r = c.obs().registry();
+        let dropped =
+            r.counter_on("sched.dropped", 0).get() + r.counter_on("rt.drop.no_actor", 0).get();
+        assert!(dropped > 0, "killed actor's queued work must be counted");
+    }
+
+    #[test]
+    fn audit_detects_injected_client_leak() {
+        // The leak hook bypasses every ledger on purpose: the audit must
+        // notice, or it could not be trusted to catch a real leak.
+        let (mut c, a) = echo_cluster(2);
+        echo_client(&mut c, a, 8);
+        c.run_for(SimTime::from_us(30));
+        assert!(c.debug_drop_inflight(0), "a request must be in flight");
+        let report = c.audit();
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| v.invariant == "client.conservation"),
+            "expected a client.conservation violation, got: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn mid_run_audit_does_not_perturb_the_simulation() {
+        // The audit drains and re-schedules the pending event queue; the
+        // run must be byte-identical with or without it.
+        let run = |audit: bool| {
+            let (mut c, a) = echo_cluster(2);
+            echo_client(&mut c, a, 8);
+            c.run_for(SimTime::from_ms(1));
+            if audit {
+                c.audit().assert_clean();
+            }
+            c.run_for(SimTime::from_ms(4));
+            (
+                c.completions().count(),
+                c.completions().mean(),
+                c.completions().p99(),
+                c.obs().registry().counter("net.packets").get(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -24,6 +24,7 @@ use crate::actor::{ActorId, Mailbox, Request};
 use crate::bookkeep::{ActorStats, CoreUtil, GroupStats};
 use ipipe_nicsim::spec::NicSpec;
 use ipipe_nicsim::traffic;
+use ipipe_sim::audit::AuditReport;
 use ipipe_sim::obs::{Counter, Gauge, HistHandle, Obs};
 use ipipe_sim::SimTime;
 use std::collections::{HashMap, VecDeque};
@@ -339,11 +340,21 @@ impl NicScheduler {
         );
     }
 
-    /// Deregister (DoS kill or teardown).
+    /// Deregister (DoS kill or teardown). Every request still queued for
+    /// the actor — in its mailbox or in the shared queue — is discarded
+    /// work and must be counted as dropped, or the arrivals conservation
+    /// ledger ([`NicScheduler::audit_into`]) would report a leak.
     pub fn deregister(&mut self, actor: ActorId) {
         self.drr_runnable_remove(actor);
-        self.actors.remove(&actor);
+        if let Some(a) = self.actors.remove(&actor) {
+            self.metrics.dropped.add(a.mailbox.len() as u64);
+        }
+        let before = self.fcfs_queue.len();
         self.fcfs_queue.retain(|r| r.actor != actor);
+        self.metrics
+            .dropped
+            .add((before - self.fcfs_queue.len()) as u64);
+        self.metrics.fcfs_depth.set(self.fcfs_queue.len() as i64);
     }
 
     /// Add `actor` to the DRR runnable queue, folding its queued mail into
@@ -724,7 +735,12 @@ impl NicScheduler {
                 .iter()
                 .filter(|id| {
                     let a = &self.actors[id];
-                    a.mailbox.is_empty()
+                    // Mirror the downgrade filter's `observed()` gate: a
+                    // never-executed actor has dispersion 0 and would always
+                    // look like the calmest candidate, getting upgraded on
+                    // pure noise before a single request has run.
+                    a.stats.observed()
+                        && a.mailbox.is_empty()
                         && a.stats.dispersion().as_ns() <= 3 * median
                         && now.saturating_sub(a.last_regroup) > REGROUP_COOLDOWN
                 })
@@ -936,6 +952,129 @@ impl NicScheduler {
     pub fn migrations_started(&self) -> u64 {
         self.migrations_started
     }
+
+    /// Drain a migrating actor's mailbox into the runtime's migration
+    /// buffer, crediting the `buffered` counter so the arrivals ledger stays
+    /// balanced. The runtime must use this instead of draining the mailbox
+    /// directly: a raw drain makes queued requests vanish from the
+    /// scheduler's books without ever being counted as consumed.
+    ///
+    /// The actor has already left the DRR runnable queue by the time a
+    /// migration drains it (`set_location` / migration start), so its mail
+    /// is no longer part of `drr_backlog`; only the counter needs a credit.
+    pub fn drain_mailbox_for_migration(&mut self, actor: ActorId) -> Vec<Request> {
+        let Some(a) = self.actors.get_mut(&actor) else {
+            return Vec::new();
+        };
+        let drained = a.mailbox.drain();
+        self.metrics.buffered.add(drained.len() as u64);
+        drained
+    }
+
+    /// Scheduler-sanity invariants, folded into a cluster-wide audit pass.
+    ///
+    /// * **arrivals ledger** — every request handed to `on_arrival` is
+    ///   either still queued (shared queue or a mailbox) or was consumed
+    ///   exactly once (executed, forwarded, buffered for migration, or
+    ///   dropped with the drop counter bumped).
+    /// * **DRR backlog** — the incremental `drr_backlog` counter equals the
+    ///   sum of runnable mailbox lengths.
+    /// * **runnable membership** — `drr_runnable` holds exactly the actors
+    ///   with `is_drr` on the NIC, without duplicates.
+    /// * **deficit bounds** — DRR deficits are non-negative and bounded by
+    ///   a generous multiple of the actor's estimate + quantum (the EWMA
+    ///   estimate can shrink after deficit accrued, so the bound is loose).
+    pub fn audit_into(&self, r: &mut AuditReport, node: u16) {
+        let m = &self.metrics;
+        let queued_fcfs = self.fcfs_queue.len() as u64;
+        let queued_mail: u64 = self.actors.values().map(|a| a.mailbox.len() as u64).sum();
+        let consumed = m.exec_fcfs.get()
+            + m.exec_drr.get()
+            + m.forwarded.get()
+            + m.buffered.get()
+            + m.dropped.get();
+        r.check(
+            "sched.arrivals",
+            node,
+            m.arrivals.get() == consumed + queued_fcfs + queued_mail,
+            || {
+                format!(
+                    "arrivals {} != consumed {} + fcfs_queue {} + mailboxes {}",
+                    m.arrivals.get(),
+                    consumed,
+                    queued_fcfs,
+                    queued_mail
+                )
+            },
+        );
+
+        let runnable_mail: usize = self
+            .drr_runnable
+            .iter()
+            .map(|id| self.actors.get(id).map(|a| a.mailbox.len()).unwrap_or(0))
+            .sum();
+        r.check(
+            "sched.drr_backlog",
+            node,
+            self.drr_backlog == runnable_mail,
+            || {
+                format!(
+                    "drr_backlog {} != sum of runnable mailboxes {}",
+                    self.drr_backlog, runnable_mail
+                )
+            },
+        );
+
+        let mut runnable: Vec<ActorId> = self.drr_runnable.iter().copied().collect();
+        runnable.sort_unstable();
+        for w in runnable.windows(2) {
+            if w[0] == w[1] {
+                r.violation(
+                    "sched.runnable.dup",
+                    node,
+                    format!("actor {} appears twice in drr_runnable", w[0]),
+                );
+            }
+        }
+        for &id in &runnable {
+            let ok = self
+                .actors
+                .get(&id)
+                .map(|a| a.is_drr && a.loc == Loc::Nic)
+                .unwrap_or(false);
+            r.check("sched.runnable.membership", node, ok, || {
+                format!("runnable actor {id} is not a DRR actor on the NIC")
+            });
+        }
+        let mut ids: Vec<ActorId> = self.actors.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let a = &self.actors[&id];
+            if a.is_drr && a.loc == Loc::Nic {
+                r.check(
+                    "sched.runnable.membership",
+                    node,
+                    self.drr_runnable.contains(&id),
+                    || format!("DRR actor {id} missing from drr_runnable"),
+                );
+            }
+            if a.is_drr {
+                let quantum = self.quantum(a);
+                let est = a.stats.exec_latency().as_ns().max(1) as f64;
+                r.check(
+                    "sched.drr.deficit",
+                    node,
+                    a.deficit >= 0.0 && a.deficit <= 64.0 * (est + quantum),
+                    || {
+                        format!(
+                            "actor {} deficit {} outside [0, 64*({} + {})]",
+                            id, a.deficit, est, quantum
+                        )
+                    },
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1083,7 +1222,38 @@ mod tests {
         s.actor_mut(2).unwrap().is_drr = true;
         s.drr_runnable.push_back(2);
         // Feed uniformly low sojourns: tail falls below (1-a)*thresh. The
-        // run must outlast the regroup cooldown.
+        // run must outlast the regroup cooldown. Actor 2 executes too (the
+        // upgrade path only considers actors with observed stats).
+        for i in 0..500 {
+            s.on_complete(
+                SimTime::from_us(i * 10),
+                1,
+                1,
+                SimTime::from_us(8),
+                SimTime::from_us(4),
+            );
+            s.on_complete(
+                SimTime::from_us(i * 10 + 5),
+                1,
+                2,
+                SimTime::from_us(8),
+                SimTime::from_us(4),
+            );
+        }
+        assert!(
+            !s.is_drr(2),
+            "calm system should upgrade actor back to FCFS"
+        );
+    }
+
+    #[test]
+    fn never_observed_actor_is_not_upgraded() {
+        // Regression: the upgrade path used to skip the `observed()` gate,
+        // so an actor that had never executed (dispersion 0) was always the
+        // calmest-looking candidate and got upgraded on noise.
+        let mut s = sched();
+        s.actor_mut(2).unwrap().is_drr = true;
+        s.drr_runnable.push_back(2);
         for i in 0..500 {
             s.on_complete(
                 SimTime::from_us(i * 10),
@@ -1094,8 +1264,8 @@ mod tests {
             );
         }
         assert!(
-            !s.is_drr(2),
-            "calm system should upgrade actor back to FCFS"
+            s.is_drr(2),
+            "an actor with no observed executions must not be upgraded"
         );
     }
 
@@ -1244,6 +1414,70 @@ mod tests {
         assert_eq!(s.drr_backlog, 5);
         s.set_location(2, Loc::Host);
         assert_eq!(s.drr_backlog, 0);
+    }
+
+    #[test]
+    fn arrivals_ledger_balances_through_deregister_and_drain() {
+        // Regression: `deregister` used to discard queued requests without
+        // touching the drop counter, and migration used to drain mailboxes
+        // behind the scheduler's back — both leaked from the arrivals
+        // ledger that `audit_into` now enforces.
+        let obs = Obs::disabled();
+        let mut s = NicScheduler::with_obs(&CN2350, cfg(), &obs, 0);
+        s.register(1, 512, Loc::Nic);
+        s.register(2, 512, Loc::Nic);
+        let arrivals = obs.registry().counter_on("sched.arrivals", 0);
+        let dropped = obs.registry().counter_on("sched.dropped", 0);
+        let buffered = obs.registry().counter_on("sched.buffered", 0);
+
+        // Queue actor 2's (DRR) mail first, then actor 1's FCFS mail.
+        s.actor_mut(2).unwrap().is_drr = true;
+        s.drr_runnable.push_back(2);
+        for t in 0..4 {
+            s.on_arrival(SimTime::ZERO, req(2, 100 + t));
+        }
+        for t in 0..4 {
+            s.on_arrival(SimTime::ZERO, req(1, t));
+        }
+        // One FCFS dequeue dispatches all leading DRR-bound mail into the
+        // mailbox and executes actor 1's first request.
+        assert!(matches!(
+            s.next_for_core(SimTime::ZERO, 0),
+            Some(Work::Exec(_))
+        ));
+        assert_eq!(arrivals.get(), 8);
+        assert_eq!(s.actor(2).unwrap().mailbox.len(), 4);
+
+        // Kill actor 1: its three still-queued requests must land in
+        // `dropped`.
+        s.deregister(1);
+        assert_eq!(dropped.get(), 3);
+
+        // Migrate actor 2: the mailbox drain must credit `buffered`.
+        s.set_location(2, Loc::Migrating);
+        let drained = s.drain_mailbox_for_migration(2);
+        assert_eq!(drained.len(), 4);
+        assert_eq!(buffered.get(), 4);
+
+        let mut r = AuditReport::new(SimTime::ZERO);
+        s.audit_into(&mut r, 0);
+        r.assert_clean();
+    }
+
+    #[test]
+    fn audit_catches_backlog_drift() {
+        let mut s = sched();
+        s.actor_mut(2).unwrap().is_drr = true;
+        s.drr_runnable.push_back(2);
+        s.on_arrival(SimTime::ZERO, req(2, 1));
+        let _ = s.next_for_core(SimTime::ZERO, 0); // mail into mailbox
+        s.drr_backlog += 1; // inject drift
+        let mut r = AuditReport::new(SimTime::ZERO);
+        s.audit_into(&mut r, 0);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "sched.drr_backlog"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::fault::{Delivery, DropReason, FaultPlan, Verdict};
 use crate::packet::NodeId;
 use crate::packet::Packet;
 use ipipe_nicsim::spec::WIRE_OVERHEAD_BYTES;
+use ipipe_sim::audit::{AuditReport, CLUSTER_WIDE};
 use ipipe_sim::obs::{Counter, HistHandle, Registry};
 use ipipe_sim::SimTime;
 
@@ -230,6 +231,41 @@ impl NetModel {
         self.bytes_sent
     }
 
+    /// Conservation audit: the model's internal packet/byte tallies must
+    /// agree exactly with the registry counters published via
+    /// [`NetModel::attach_obs`] — a transfer path that bumps one ledger side
+    /// but not the other is precisely the silent-drift class the audit
+    /// hunts. No-op when no registry is attached.
+    pub fn audit_into(&self, r: &mut AuditReport) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        r.check(
+            "net.counter.packets",
+            CLUSTER_WIDE,
+            obs.packets.get() == self.packets_sent,
+            || {
+                format!(
+                    "registry net.packets {} != internal packets_sent {}",
+                    obs.packets.get(),
+                    self.packets_sent
+                )
+            },
+        );
+        r.check(
+            "net.counter.bytes",
+            CLUSTER_WIDE,
+            obs.bytes.get() == self.bytes_sent,
+            || {
+                format!(
+                    "registry net.bytes {} != internal bytes_sent {}",
+                    obs.bytes.get(),
+                    self.bytes_sent
+                )
+            },
+        );
+    }
+
     /// Aggregate offered bandwidth over `window`, in Gbit/s.
     pub fn offered_gbps(&self, window: SimTime) -> f64 {
         if window == SimTime::ZERO {
@@ -449,5 +485,24 @@ mod tests {
         let wait = reg.hist("net.tx_wait");
         assert_eq!(wait.count(), 2);
         assert!(wait.max() >= n.wire_time(1000), "second frame waited");
+    }
+
+    #[test]
+    fn audit_cross_checks_internal_and_registry_ledgers() {
+        let reg = Registry::new();
+        let mut n = NetModel::new(2, 10.0);
+        n.attach_obs(&reg);
+        n.set_fault_plan(FaultPlan::new(4).with_loss(0.5));
+        for i in 0..20 {
+            n.transfer_checked(SimTime::from_us(i), &pkt(0, 1, 512));
+        }
+        let mut r = AuditReport::new(SimTime::ZERO);
+        n.audit_into(&mut r);
+        r.assert_clean();
+        // Drift between the two ledger sides must be flagged.
+        reg.counter("net.packets").inc();
+        let mut r = AuditReport::new(SimTime::ZERO);
+        n.audit_into(&mut r);
+        assert!(!r.is_clean());
     }
 }

@@ -169,6 +169,45 @@ mod tests {
         assert!(sg < separate, "sg={sg} separate={separate}");
     }
 
+    /// Audit-grade sanity sweep across every card: the timing model must be
+    /// monotone in payload size (a bigger transfer never finishes sooner)
+    /// and every latency strictly positive, for the full byte range the
+    /// rings ever issue. A regression here would let a conservation ledger
+    /// balance while the underlying timings are nonsense.
+    #[test]
+    fn cost_model_is_monotone_and_positive_on_all_cards() {
+        use crate::spec::{CN2360, STINGRAY_PS225};
+        for spec in [&CN2350, &CN2360, &BLUEFIELD_1M332A, &STINGRAY_PS225] {
+            let e = DmaEngine::new(spec);
+            for op in [DmaOp::Read, DmaOp::Write] {
+                let mut prev = SimTime::ZERO;
+                for bytes in [0u32, 1, 4, 64, 256, 1024, 4096, 65536, 1 << 20] {
+                    let lat = e.blocking_latency(op, bytes);
+                    assert!(lat > SimTime::ZERO, "{spec:?} {op:?} {bytes}B zero latency");
+                    assert!(lat >= prev, "{spec:?} {op:?} not monotone at {bytes}B");
+                    assert!(
+                        e.nonblocking_completion(op, bytes) >= e.nonblocking_latency(),
+                        "data cannot land before the command is even enqueued"
+                    );
+                    // Throughput and latency must describe the same model.
+                    let ops = e.blocking_throughput_ops(op, bytes);
+                    assert!((ops * lat.as_secs_f64() - 1.0).abs() < 1e-9);
+                    prev = lat;
+                }
+                // One SG op with k segments is never cheaper than one flat
+                // transfer of the same bytes, and grows with k.
+                let flat = e.blocking_latency(op, 4096);
+                let mut prev_sg = SimTime::ZERO;
+                for segs in [1u32, 2, 8, 64] {
+                    let sg = e.scatter_gather_latency(op, segs, 4096);
+                    assert!(sg >= flat, "{spec:?} {op:?} sg<{segs}> under flat");
+                    assert!(sg >= prev_sg);
+                    prev_sg = sg;
+                }
+            }
+        }
+    }
+
     /// Fig 9: RDMA verbs roughly double the latency of blocking DMA for
     /// small messages.
     #[test]

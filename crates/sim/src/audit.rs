@@ -1,0 +1,224 @@
+//! Conservation-audit framework: a quiesce-time invariant checker.
+//!
+//! Every figure this reproduction reports rests on the claim that the DES
+//! conserves work — no frame, byte, or commit is silently created or lost
+//! between `netsim` injection and actor-level apply. This module is the
+//! substrate for checking that claim: subsystems implement an
+//! `audit_into(&mut AuditReport)` hook that asserts their conservation
+//! ledgers, and the cluster runtime stitches them together into one
+//! `Cluster::audit()` call that scenario tests run at quiesce.
+//!
+//! Zero overhead when disabled: nothing in this module runs unless an audit
+//! is explicitly requested. The hot path pays at most a handful of plain
+//! `u64` increments for ledger terms that cannot be reconstructed after the
+//! fact (e.g. frames delivered); every comparison happens inside `audit()`.
+
+use crate::obs::Obs;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One failed invariant, with enough context to debug it from the report
+/// alone: which invariant, which node, at what simulated time, and a
+/// human-readable detail line (usually the two sides of the ledger).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant identifier, e.g. `"client.conservation"`.
+    pub invariant: &'static str,
+    /// Node the violation is attributed to (`u16::MAX` for cluster-wide).
+    pub node: u16,
+    /// Simulated time at which the audit observed the violation.
+    pub at: SimTime,
+    /// Ledger detail: what was expected vs what was found.
+    pub detail: String,
+}
+
+/// Node id used for violations that are not attributable to a single node.
+pub const CLUSTER_WIDE: u16 = u16::MAX;
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node == CLUSTER_WIDE {
+            write!(f, "[{}] at {}: {}", self.invariant, self.at, self.detail)
+        } else {
+            write!(
+                f,
+                "[{}] node {} at {}: {}",
+                self.invariant, self.node, self.at, self.detail
+            )
+        }
+    }
+}
+
+/// Accumulates invariant checks from every subsystem during one audit pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    at: SimTime,
+    checks: u64,
+    violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// An empty report stamped with the audit's simulated time.
+    pub fn new(at: SimTime) -> AuditReport {
+        AuditReport {
+            at,
+            checks: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Simulated time this audit ran at.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Record one invariant check. When `ok` is false, `detail` is evaluated
+    /// and a [`Violation`] is appended; when true the closure is never run,
+    /// so callers can format ledgers lazily.
+    pub fn check(
+        &mut self,
+        invariant: &'static str,
+        node: u16,
+        ok: bool,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(Violation {
+                invariant,
+                node,
+                at: self.at,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Record an unconditional violation (for checks whose failure is
+    /// detected structurally rather than by a boolean condition).
+    pub fn violation(&mut self, invariant: &'static str, node: u16, detail: String) {
+        self.checks += 1;
+        self.violations.push(Violation {
+            invariant,
+            node,
+            at: self.at,
+            detail,
+        });
+    }
+
+    /// Number of individual invariant checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// True when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found, in check order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Fold another report (e.g. from a subsystem audited separately) into
+    /// this one. Check counts add; the merged report keeps its own stamp.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+
+    /// Publish the outcome into the obs registry: `audit.checks` and
+    /// `audit.violations` counters, plus one `audit/violation` trace instant
+    /// per failure (attributed to the violating node at the audit's
+    /// sim-time) so traces carry the context.
+    pub fn record_to(&self, obs: &Obs) {
+        obs.registry().counter("audit.checks").add(self.checks);
+        obs.registry()
+            .counter("audit.violations")
+            .add(self.violations.len() as u64);
+        for v in &self.violations {
+            let node = if v.node == CLUSTER_WIDE { 0 } else { v.node };
+            obs.instant("audit", "violation", node, 0, self.at, None);
+        }
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "audit at {}: {} checks, {} violations\n",
+            self.at,
+            self.checks,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            out.push_str("  ");
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Panic with the rendered report unless the audit is clean.
+    ///
+    /// This is the quiesce-time assertion scenario tests call.
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_has_no_violations() {
+        let mut r = AuditReport::new(SimTime::from_us(5));
+        r.check("a.b", 0, true, || unreachable!("lazy detail must not run"));
+        assert!(r.is_clean());
+        assert_eq!(r.checks(), 1);
+        r.assert_clean();
+    }
+
+    #[test]
+    fn failed_check_records_violation_with_context() {
+        let mut r = AuditReport::new(SimTime::from_ms(3));
+        r.check("ring.depth", 2, false, || "depth 4 != pending 3".into());
+        assert!(!r.is_clean());
+        let v = &r.violations()[0];
+        assert_eq!(v.invariant, "ring.depth");
+        assert_eq!(v.node, 2);
+        assert_eq!(v.at, SimTime::from_ms(3));
+        let s = v.to_string();
+        assert!(s.contains("ring.depth") && s.contains("node 2"), "{s}");
+    }
+
+    #[test]
+    fn merge_accumulates_checks_and_violations() {
+        let mut a = AuditReport::new(SimTime::ZERO);
+        a.check("x", 0, true, String::new);
+        let mut b = AuditReport::new(SimTime::ZERO);
+        b.violation("y", 1, "boom".into());
+        a.merge(b);
+        assert_eq!(a.checks(), 2);
+        assert_eq!(a.violations().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "client.conservation")]
+    fn assert_clean_panics_with_rendered_report() {
+        let mut r = AuditReport::new(SimTime::ZERO);
+        r.violation("client.conservation", CLUSTER_WIDE, "issued 10 != 9".into());
+        r.assert_clean();
+    }
+
+    #[test]
+    fn record_to_publishes_counters() {
+        let obs = Obs::disabled();
+        let mut r = AuditReport::new(SimTime::ZERO);
+        r.check("ok", 0, true, String::new);
+        r.violation("bad", 0, "x".into());
+        r.record_to(&obs);
+        assert_eq!(obs.registry().counter("audit.checks").get(), 2);
+        assert_eq!(obs.registry().counter("audit.violations").get(), 1);
+    }
+}

@@ -20,6 +20,7 @@
 //! assert!((a, b) == (0, 1) && t0 < t1);
 //! ```
 
+pub mod audit;
 pub mod event;
 pub mod obs;
 pub mod rng;
@@ -27,7 +28,8 @@ pub mod stats;
 pub mod sweep;
 pub mod time;
 
-pub use event::{EventQueue, HeapEventQueue};
+pub use audit::{AuditReport, Violation};
+pub use event::{AnyEventQueue, EventQueue, HeapEventQueue, QueueKind};
 pub use obs::{Obs, ObsConfig, TraceLevel};
 pub use rng::DetRng;
 pub use stats::{Ewma, Histogram, TailEstimator, Welford};

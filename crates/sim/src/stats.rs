@@ -235,7 +235,15 @@ impl Histogram {
     }
 
     /// Quantile `q` in `[0,1]`; returns the upper bound of the bucket holding
-    /// the q-th sample. Zero if empty.
+    /// the q-th sample, clamped to the exact maximum. The contract at the
+    /// edges is part of the API:
+    ///
+    /// * **empty histogram** — every quantile is `SimTime::ZERO` (there is
+    ///   no sample to bound, and callers feed quantiles into ledgers where
+    ///   a sentinel like `MAX` would poison sums);
+    /// * **single sample** — every quantile is that sample's value (bucket
+    ///   upper bound clamped to the recorded maximum);
+    /// * `q` outside `[0,1]` is clamped, `q = 0` reads as the first sample.
     pub fn quantile(&self, q: f64) -> SimTime {
         if self.total == 0 {
             return SimTime::ZERO;
@@ -286,6 +294,30 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), SimTime::ZERO, "q={q}");
+        }
+        assert_eq!(h.p50(), SimTime::ZERO);
+        assert_eq!(h.p99(), SimTime::ZERO);
+        assert_eq!(h.min(), SimTime::ZERO);
+        assert_eq!(h.max(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_us(17));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), SimTime::from_us(17), "q={q}");
+        }
+        // Out-of-range q clamps instead of indexing out of the histogram.
+        assert_eq!(h.quantile(-3.0), SimTime::from_us(17));
+        assert_eq!(h.quantile(42.0), SimTime::from_us(17));
+    }
 
     #[test]
     fn ewma_converges() {

@@ -49,6 +49,7 @@ fn rkv_end_to_end_all_modes() {
         c.run_for(SimTime::from_ms(10));
         let done = c.completions().count();
         assert!(done > 1_000, "{mode:?}: done={done}");
+        c.audit().assert_clean();
     }
 }
 
@@ -59,6 +60,7 @@ fn ipipe_saves_host_cores_on_rkv() {
         c.run_for(SimTime::from_ms(3));
         c.reset_measurements();
         c.run_for(SimTime::from_ms(10));
+        c.audit().assert_clean();
         (c.throughput_rps(), c.host_cores_used(0))
     };
     let (_, cores_ipipe) = measure(RuntimeMode::IPipe);
@@ -96,6 +98,7 @@ fn dt_transactions_on_every_card() {
             spec.name,
             c.completions().count()
         );
+        c.audit().assert_clean();
     }
 }
 
@@ -150,6 +153,7 @@ fn rta_pipeline_with_forced_ranker_migration() {
         r.phase_times[2] > SimTime::ZERO,
         "state must move in phase 3"
     );
+    c.audit().assert_clean();
 }
 
 #[test]
@@ -215,6 +219,7 @@ fn push_then_pull_migration_round_trip() {
     );
     // Both directions produced migration reports.
     assert!(c.migration_reports(0).len() >= 2);
+    c.audit().assert_clean();
 }
 
 #[test]
@@ -222,6 +227,7 @@ fn determinism_across_identical_runs() {
     let run = |seed| {
         let mut c = rkv_cluster(RuntimeMode::IPipe, seed);
         c.run_for(SimTime::from_ms(6));
+        c.audit().assert_clean();
         (
             c.completions().count(),
             c.completions().mean().as_ns(),
@@ -257,6 +263,7 @@ fn twenty_five_gbe_outpaces_ten_gbe() {
         c.run_for(SimTime::from_ms(3));
         c.reset_measurements();
         c.run_for(SimTime::from_ms(8));
+        c.audit().assert_clean();
         c.throughput_rps()
     };
     let t10 = tput(CN2350);

@@ -427,3 +427,107 @@ proptest! {
         prop_assert_eq!(q1.drain_pending(), q2.drain_pending());
     }
 }
+
+// Scenario-level audit properties: whole-cluster runs are slower than the
+// data-structure properties above, so they get a smaller case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The quiesce-time conservation audit holds across random seeds,
+    /// replica counts and fault intensities for the RKV scenario (a
+    /// miniature of the rkv-fault acceptance run: seeded loss, client
+    /// retries, heartbeat failover and — at quorum-safe sizes — a leader
+    /// crash). Afterwards, an injected in-flight leak through the test-only
+    /// hook must be caught by the same audit.
+    #[test]
+    fn cluster_audit_clean_on_random_rkv_runs(
+        seed in any::<u64>(),
+        replicas in 1usize..4,
+        loss_pct in 0u32..3,
+        outstanding in 1u32..9,
+    ) {
+        use ipipe_repro::apps::rkv::actors::{deploy_rkv_with, HeartbeatCfg, RkvMsg};
+        use ipipe_repro::apps::rkv::lsm::KEY_LEN;
+        use ipipe_repro::ipipe::rt::{ClientReq, Cluster, RetryPolicy, RuntimeMode};
+        use ipipe_repro::netsim::FaultPlan;
+        use ipipe_repro::workload::kv::KvOp;
+
+        let put_for = |token: u64| {
+            let mut key = [0u8; KEY_LEN];
+            key[..8].copy_from_slice(&token.to_le_bytes());
+            KvOp::Put { key, value: vec![0xCD; 24] }
+        };
+        let mut c = Cluster::builder(CN2350)
+            .servers(replicas)
+            .clients(1)
+            .mode(RuntimeMode::IPipe)
+            .seed(seed)
+            .build();
+        let dep = deploy_rkv_with(
+            &mut c,
+            &(0..replicas).collect::<Vec<_>>(),
+            8 << 20,
+            Some(HeartbeatCfg::lan_default()),
+        );
+        let leader = dep.consensus[0];
+        c.set_client(0, Box::new(move |rng, token| {
+            let op = put_for(token);
+            ClientReq {
+                dst: leader,
+                wire_size: 42 + op.wire_size(),
+                flow: rng.below(1 << 20),
+                payload: Some(Box::new(RkvMsg::Client(op))),
+            }
+        }), outstanding);
+        c.set_client_retry(0, RetryPolicy {
+            timeout: SimTime::from_us(200),
+            cap: SimTime::from_ms(2),
+            max_tries: 16,
+        }, Some(Box::new(move |token| Some(Box::new(RkvMsg::Client(put_for(token)))))));
+        let mut plan = FaultPlan::new(seed ^ 0xFA17).with_loss(loss_pct as f64 / 100.0);
+        if replicas == 3 {
+            // Only crash when a quorum survives the outage.
+            plan = plan.with_crash(0, SimTime::from_ms(1), SimTime::from_ms(2));
+        }
+        c.set_fault_plan(plan);
+        c.run_for(SimTime::from_ms(3));
+        let r = c.audit();
+        prop_assert!(r.is_clean(), "audit after clean run:\n{}", r.render());
+
+        // Now sabotage the ledger: vanish one in-flight request behind the
+        // accounting's back and require the audit to notice.
+        if c.debug_drop_inflight(0) {
+            let r = c.audit();
+            prop_assert!(!r.is_clean(), "leak not caught");
+            prop_assert!(
+                r.violations().iter().any(|v| v.invariant == "client.conservation"),
+                "wrong invariant: {}", r.render()
+            );
+        }
+    }
+
+    /// Fig 16 cells audit clean at quiesce for random seeds, disciplines and
+    /// loads (`run_fig16` sweeps the scheduler ledgers after the event queue
+    /// drains and panics on any violation).
+    #[test]
+    fn fig16_audit_clean_on_random_cells(
+        seed in any::<u64>(),
+        disc_sel in 0u8..3,
+        load_pct in 20u32..95,
+        high_dispersion in any::<bool>(),
+    ) {
+        use ipipe_repro::baseline::fig16::run_fig16;
+        use ipipe_repro::workload::service::{fig16_distribution, Dispersion, Fig16Card};
+
+        let discipline = match disc_sel {
+            0 => Discipline::FcfsOnly,
+            1 => Discipline::DrrOnly,
+            _ => Discipline::Hybrid,
+        };
+        let dispersion = if high_dispersion { Dispersion::High } else { Dispersion::Low };
+        let dist = fig16_distribution(Fig16Card::LiquidIo, dispersion);
+        let load = load_pct as f64 / 100.0;
+        let p = run_fig16(&CN2350, dist, discipline, load, 8, 4_000, seed);
+        prop_assert!(p.completed > 0);
+    }
+}
