@@ -1,0 +1,144 @@
+//! Sharded-DES microbenchmark: the 64-node pod (56 servers + 8 clients,
+//! eight racks, 1 µs cross-rack extra) driven serially and under 2/4/8
+//! rack-aligned event shards.
+//!
+//! For each shard count the run reports:
+//!
+//! * measured wall-clock time and events/s for the whole simulated window,
+//! * the wall-clock speedup over the 1-shard serial reference,
+//! * the **critical-path speedup** — total events over the sum of each
+//!   epoch's busiest shard ([`EpochStats::speedup`]): the bound a host with
+//!   one core per shard would reach, reported independently of this
+//!   machine's core count,
+//! * whether the canonical export byte-matched the serial run (the bench
+//!   doubles as a determinism check; a mismatch is a hard failure).
+//!
+//! `host_parallelism` records how many cores the measurement actually had:
+//! on a single-core host the multi-shard *wall* numbers mostly show the
+//! epoch machinery's overhead, and the critical-path column is the honest
+//! parallelism claim. Multi-shard runs execute epochs on OS threads
+//! (`ClusterBuilder::parallel`) so wall clock reflects real threading,
+//! whatever the host provides.
+//!
+//! Prints a single line of JSON to stdout. Run with
+//! `cargo run --release -p ipipe-bench --bin pardesbench`.
+//!
+//! `pardesbench --export PATH [--shards N]` instead runs the pod once under
+//! `N` shards (default 8, threaded) and writes the canonical merged export
+//! to `PATH` — no wall-clock numbers, so two same-seed invocations must
+//! produce byte-identical files. CI diffs exactly that.
+//!
+//! [`EpochStats::speedup`]: ipipe_sim::EpochStats::speedup
+
+use std::time::Instant;
+
+use ipipe_bench::sharded::{build_grid, GridSpec};
+use ipipe_sim::SimTime;
+
+/// Simulated window per run.
+const SIM_MS: u64 = 20;
+/// Master seed shared by every variant.
+const SEED: u64 = 64;
+
+struct RunResult {
+    wall_ms: f64,
+    events: u64,
+    epochs: u64,
+    critical_path_speedup: f64,
+    done: u64,
+    export: String,
+}
+
+fn run(shards: usize, parallel: bool) -> RunResult {
+    let mut c = build_grid(&GridSpec::pod64(SEED, shards, parallel));
+    let start = Instant::now();
+    c.run_for(SimTime::from_ms(SIM_MS));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = c.epoch_stats();
+    RunResult {
+        wall_ms,
+        events: stats.events,
+        epochs: stats.epochs,
+        critical_path_speedup: stats.speedup(),
+        done: c.completions().count(),
+        export: c.export_canonical_jsonl(),
+    }
+}
+
+/// `--export PATH [--shards N]`: one deterministic run, canonical export to
+/// `PATH`, nothing time-dependent anywhere in the output.
+fn run_export_mode(args: &[String]) {
+    let mut path = None;
+    let mut shards = 8usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--export" => path = it.next().cloned(),
+            "--shards" => {
+                shards = it.next().and_then(|v| v.parse().ok()).expect("--shards N");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let path = path.expect("--export PATH");
+    let r = run(shards, shards > 1);
+    std::fs::write(&path, &r.export).expect("write export");
+    println!(
+        "pardesbench export: {} shards, {} events, {} completed -> {path}",
+        shards, r.events, r.done
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        run_export_mode(&args);
+        return;
+    }
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Warmup: touch every code path once so allocator and page-cache state
+    // don't bias the serial reference.
+    run(1, false);
+    let serial = run(1, false);
+    let serial_eps = serial.events as f64 / (serial.wall_ms / 1e3);
+    let mut cols = Vec::new();
+    for shards in [2usize, 4, 8] {
+        let r = run(shards, true);
+        assert_eq!(
+            r.export, serial.export,
+            "{shards}-shard canonical export diverged from serial"
+        );
+        assert_eq!(r.done, serial.done, "{shards}-shard completions diverged");
+        let eps = r.events as f64 / (r.wall_ms / 1e3);
+        cols.push(format!(
+            concat!(
+                "{{\"shards\":{},\"wall_ms\":{:.2},\"events_per_sec\":{:.0},",
+                "\"wall_speedup\":{:.2},\"critical_path_speedup\":{:.2},",
+                "\"epochs\":{},\"byte_identical\":true}}"
+            ),
+            shards,
+            r.wall_ms,
+            eps,
+            serial.wall_ms / r.wall_ms,
+            r.critical_path_speedup,
+            r.epochs,
+        ));
+    }
+    println!(
+        concat!(
+            "{{\"bench\":\"pardesbench\",\"nodes\":64,\"racks\":8,\"sim_ms\":{},",
+            "\"host_parallelism\":{},\"events\":{},\"completed\":{},",
+            "\"serial\":{{\"wall_ms\":{:.2},\"events_per_sec\":{:.0}}},",
+            "\"sharded\":[{}]}}"
+        ),
+        SIM_MS,
+        host_parallelism,
+        serial.events,
+        serial.done,
+        serial.wall_ms,
+        serial_eps,
+        cols.join(","),
+    );
+}

@@ -2,19 +2,27 @@
 //!
 //! ```text
 //! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|fig16] \
-//!     [--seed N] [--verbose] [--out DIR]
+//!     [--seed N] [--shards N] [--verbose] [--out DIR]
 //! ```
 //!
 //! With `--out DIR` the run's metrics (`metrics.jsonl`) and Chrome trace
 //! (`chrome.json`, openable in Perfetto / `chrome://tracing`) are written
 //! there. Both files are byte-identical across same-seed runs — the CI
 //! determinism job runs this binary twice and diffs the directories.
+//!
+//! `--shards N` partitions the cluster scenarios (`rkv`, `rkv-fault`) across
+//! N event shards. Cluster scenarios summarize and export through the
+//! cluster's canonical merged view ((ts, node)-ordered trace), whatever the
+//! shard count. Metrics are byte-identical to the serial run always; trace
+//! records are too unless the ring overflows (capacity is per shard, so
+//! sharded runs of overflowing scenarios retain more records). `fig16` is
+//! cluster-free and only accepts the default `--shards 1`.
 
 use ipipe::rt::{ClientReq, Cluster, RuntimeMode};
 use ipipe::sched::Discipline;
 use ipipe_apps::rkv::actors::{deploy_rkv, RkvMsg};
 use ipipe_baseline::fig16::run_fig16_obs;
-use ipipe_bench::fault::run_rkv_fault;
+use ipipe_bench::fault::run_rkv_fault_traced;
 use ipipe_bench::render_table;
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::{Obs, TraceKind, TraceLevel};
@@ -26,6 +34,7 @@ use std::collections::BTreeMap;
 struct Opts {
     scenario: String,
     seed: u64,
+    shards: usize,
     verbose: bool,
     out: Option<String>,
 }
@@ -34,6 +43,7 @@ fn parse_opts() -> Opts {
     let mut opts = Opts {
         scenario: "rkv".into(),
         seed: 2,
+        shards: 1,
         verbose: false,
         out: None,
     };
@@ -47,28 +57,36 @@ fn parse_opts() -> Opts {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs an integer")
             }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shards needs an integer >= 1")
+            }
             "--verbose" => opts.verbose = true,
             "--out" => opts.out = Some(args.next().expect("--out needs a directory")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traceview [--scenario rkv|rkv-fault|fig16] [--seed N] [--verbose] [--out DIR]"
+                    "usage: traceview [--scenario rkv|rkv-fault|fig16] [--seed N] [--shards N] [--verbose] [--out DIR]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other:?}"),
         }
     }
+    assert!(opts.shards >= 1, "--shards needs an integer >= 1");
     opts
 }
 
 /// The replicated-KV cluster of `examples/replicated_kv.rs`, traced.
-fn run_rkv(seed: u64, obs: &Obs) {
+fn run_rkv(seed: u64, obs: &Obs, shards: usize) -> Cluster {
     let mut c = Cluster::builder(CN2350)
         .servers(3)
         .clients(1)
         .mode(RuntimeMode::IPipe)
         .seed(seed)
         .obs(obs.clone())
+        .shards(shards)
         .build();
     let dep = deploy_rkv(&mut c, &[0, 1, 2], 8 << 20);
     let leader = dep.consensus[0];
@@ -90,6 +108,7 @@ fn run_rkv(seed: u64, obs: &Obs) {
     // Exercise the migration machinery so its spans show up in the trace.
     c.force_migrate(dep.memtable[0]);
     c.run_for(SimTime::from_ms(4));
+    c
 }
 
 /// One Fig 16 hybrid cell at load 0.6 (the determinism-test scenario).
@@ -109,24 +128,41 @@ fn main() {
         TraceLevel::Spans
     };
     let obs = Obs::with_level(level);
-    match opts.scenario.as_str() {
-        "rkv" => run_rkv(opts.seed, &obs),
+    let cluster = match opts.scenario.as_str() {
+        "rkv" => Some(run_rkv(opts.seed, &obs, opts.shards)),
         // The fault-injected cluster: 1% seeded loss + a forced leader
         // crash, recovered by heartbeat election and client retransmission.
         // The CI determinism job diffs two same-seed runs of this scenario.
         "rkv-fault" => {
-            let stats = run_rkv_fault(opts.seed, &obs);
+            let (stats, c) = run_rkv_fault_traced(opts.seed, &obs, opts.shards);
             println!(
                 "rkv-fault: {} writes committed ({} before the leader crash, {} issued)",
                 stats.done, stats.before_crash, stats.issued
             );
+            Some(c)
         }
-        "fig16" => run_fig16_cell(opts.seed, &obs),
+        "fig16" => {
+            assert!(
+                opts.shards == 1,
+                "fig16 is cluster-free; --shards applies to the rkv scenarios"
+            );
+            run_fig16_cell(opts.seed, &obs);
+            None
+        }
         other => panic!("unknown scenario {other:?} (want rkv, rkv-fault or fig16)"),
-    }
+    };
+    // Cluster scenarios always summarize and export through the cluster's
+    // canonical merged view ((ts, node)-ordered trace): under `--shards N`
+    // the user Obs handle only sees shard 0, and the canonical ordering is
+    // the one that is invariant across shard counts. fig16 (no cluster)
+    // keeps the raw Obs exports.
+    let sharded = cluster.as_ref();
 
     // --- metric summary -------------------------------------------------
-    let snap = obs.snapshot();
+    let snap = match sharded {
+        Some(c) => c.snapshot(),
+        None => obs.snapshot(),
+    };
     let rows: Vec<Vec<String>> = snap
         .counters
         .iter()
@@ -164,7 +200,10 @@ fn main() {
     );
 
     // --- trace summary --------------------------------------------------
-    let events = obs.trace_events();
+    let (events, trace_dropped) = match sharded {
+        Some(c) => (c.merged_trace(), c.trace_totals().1),
+        None => (obs.trace_events(), obs.trace_dropped()),
+    };
     let mut by_name: BTreeMap<(&str, &str), (u64, SimTime)> = BTreeMap::new();
     for ev in &events {
         let slot = by_name.entry((ev.cat, ev.name)).or_default();
@@ -189,7 +228,7 @@ fn main() {
             &format!(
                 "trace — {} recorded, {} dropped",
                 events.len(),
-                obs.trace_dropped()
+                trace_dropped
             ),
             &["cat/name", "events", "span-total(us)"],
             &rows,
@@ -201,8 +240,12 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("create --out dir");
         let metrics = format!("{dir}/metrics.jsonl");
         let chrome = format!("{dir}/chrome.json");
-        std::fs::write(&metrics, obs.export_jsonl()).expect("write metrics");
-        std::fs::write(&chrome, obs.export_chrome()).expect("write chrome trace");
+        let (jsonl, chrome_json) = match sharded {
+            Some(c) => (c.export_canonical_jsonl(), c.export_canonical_chrome()),
+            None => (obs.export_jsonl(), obs.export_chrome()),
+        };
+        std::fs::write(&metrics, jsonl).expect("write metrics");
+        std::fs::write(&chrome, chrome_json).expect("write chrome trace");
         // stderr, so stdout summaries of two same-seed runs with different
         // --out dirs stay byte-identical (the CI determinism job diffs them).
         eprintln!("wrote {metrics} and {chrome} (open the latter in Perfetto)");

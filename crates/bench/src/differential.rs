@@ -18,7 +18,8 @@
 //! in the stack (scheduler, rings, faults, Paxos) surfaces as a one-line
 //! mismatch instead of a subtly wrong figure.
 
-use crate::fault::run_rkv_fault_with;
+use crate::fault::{run_rkv_fault_sharded, run_rkv_fault_with};
+use crate::sharded::run_fig16_grid;
 use ipipe_baseline::fig16::run_fig16_obs;
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::Obs;
@@ -154,6 +155,53 @@ pub fn diff_fig16_parallel(requests: u64, seed: u64) -> DiffOutcome {
     }
 }
 
+/// Re-run the rkv-fault scenario under every shard count in {1, 2, 4, 8}
+/// (plus a threaded 4-shard epoch run) and diff the *canonical* cluster
+/// exports — merged metric snapshot, merged trace and meta line. The
+/// 1-shard serial engine is the reference; sharding is a pure execution
+/// mechanism and must not move a single byte.
+pub fn diff_sharded_rkv_fault(seed: u64) -> DiffOutcome {
+    let variants = [
+        ("1-shard", 1, false),
+        ("2-shard", 2, false),
+        ("4-shard", 4, false),
+        ("8-shard", 8, false),
+        ("4-shard-parallel", 4, true),
+    ];
+    DiffOutcome {
+        variants: variants
+            .iter()
+            .map(|&(label, shards, parallel)| {
+                let (_, export) = run_rkv_fault_sharded(seed, shards, parallel);
+                (label.to_string(), export)
+            })
+            .collect(),
+    }
+}
+
+/// The same sharding axis over the fig16-style whole-cluster grid (16
+/// servers + 4 clients, racked, bimodal service times, mid-run audit):
+/// every shard count must reproduce the serial run's canonical export and
+/// completion count byte-for-byte.
+pub fn diff_sharded_fig16_grid(seed: u64) -> DiffOutcome {
+    let variants = [
+        ("1-shard", 1, false),
+        ("2-shard", 2, false),
+        ("4-shard", 4, false),
+        ("8-shard", 8, false),
+        ("8-shard-parallel", 8, true),
+    ];
+    DiffOutcome {
+        variants: variants
+            .iter()
+            .map(|&(label, shards, parallel)| {
+                let (done, export) = run_fig16_grid(seed, shards, parallel);
+                (label.to_string(), format!("done {done}\n{export}"))
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +229,36 @@ mod tests {
     #[test]
     fn fig16_grid_is_schedule_invariant() {
         let out = diff_fig16_parallel(6_000, 3);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+    }
+
+    /// The sharded engine's acceptance gate on the hardest scenario we have:
+    /// crash, failover, per-link faults and thousands of retransmissions
+    /// export byte-identical canonical results under 1/2/4/8 shards and
+    /// threaded epochs.
+    #[test]
+    fn rkv_fault_is_shard_invariant() {
+        let out = diff_sharded_rkv_fault(7);
+        assert_eq!(out.variants.len(), 5);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+        assert!(out.variants[0].1.lines().count() > 20);
+    }
+
+    /// Sharding invariance at fan-out: the 20-node racked grid with bimodal
+    /// service times and a mid-run audit sweep.
+    #[test]
+    fn fig16_grid_is_shard_invariant() {
+        let out = diff_sharded_fig16_grid(3);
         assert!(
             out.identical(),
             "{}\nfirst divergence: {}",

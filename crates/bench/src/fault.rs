@@ -83,12 +83,48 @@ pub fn run_rkv_fault_with(
         .queue_kind(queue_kind)
         .unbatched_dispatch(unbatched)
         .build();
-    let dep = deploy_rkv_with(
-        &mut c,
-        &[0, 1, 2],
-        8 << 20,
-        Some(HeartbeatCfg::lan_default()),
-    );
+    drive_rkv_fault(&mut c, seed)
+}
+
+/// [`run_rkv_fault`] partitioned across `shards` event shards (clamped to the
+/// 4-node topology), optionally executing each epoch's shard slices on OS
+/// threads. Returns the headline stats plus the cluster's canonical merged
+/// export — metrics, trace and meta line — which must be byte-identical
+/// whatever the shard count or execution mode.
+pub fn run_rkv_fault_sharded(seed: u64, shards: usize, parallel: bool) -> (FaultRunStats, String) {
+    let mut c = Cluster::builder(CN2350)
+        .servers(3)
+        .clients(1)
+        .mode(RuntimeMode::IPipe)
+        .seed(seed)
+        .shards(shards)
+        .parallel(parallel)
+        .build();
+    let stats = drive_rkv_fault(&mut c, seed);
+    (stats, c.export_canonical_jsonl())
+}
+
+/// [`run_rkv_fault`] with the cluster handed back so callers (traceview's
+/// `--shards` path) can pull canonical merged exports; `obs` receives shard
+/// 0's records as usual.
+pub fn run_rkv_fault_traced(seed: u64, obs: &Obs, shards: usize) -> (FaultRunStats, Cluster) {
+    let mut c = Cluster::builder(CN2350)
+        .servers(3)
+        .clients(1)
+        .mode(RuntimeMode::IPipe)
+        .seed(seed)
+        .obs(obs.clone())
+        .shards(shards)
+        .build();
+    let stats = drive_rkv_fault(&mut c, seed);
+    (stats, c)
+}
+
+/// Everything after cluster construction: deploy the 3-replica RKV group,
+/// wire the retrying client, inject the fault plan, run through crash and
+/// recovery, and audit at quiesce.
+fn drive_rkv_fault(c: &mut Cluster, seed: u64) -> FaultRunStats {
+    let dep = deploy_rkv_with(c, &[0, 1, 2], 8 << 20, Some(HeartbeatCfg::lan_default()));
     // The client only ever targets the boot-time leader; after the crash it
     // must be steered to the replacement by Redirect replies alone.
     let leader = dep.consensus[0];

@@ -10,6 +10,7 @@ pub mod characterization;
 pub mod differential;
 pub mod evaluation;
 pub mod fault;
+pub mod sharded;
 
 /// Render a text table: header row + aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

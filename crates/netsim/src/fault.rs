@@ -87,6 +87,9 @@ pub(crate) enum Verdict {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     rng: DetRng,
+    /// Per-source-node RNG streams (see [`FaultPlan::split_per_source`]).
+    /// Empty until split: the legacy single-stream `rng` is used then.
+    streams: Vec<DetRng>,
     /// Default per-frame loss probability on every link.
     loss: f64,
     /// Per-frame header-corruption probability.
@@ -102,6 +105,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             rng: DetRng::new(seed),
+            streams: Vec::new(),
             loss: 0.0,
             corrupt: 0.0,
             link_loss: Vec::new(),
@@ -149,6 +153,29 @@ impl FaultPlan {
         self
     }
 
+    /// Split the plan's single RNG stream into one independent stream per
+    /// source node (forked in node order, so the split itself is
+    /// deterministic). After the split, [`FaultPlan::judge`] draws from the
+    /// *sender's* stream, making each node's fault verdicts a pure function
+    /// of that node's own send sequence — independent of how sends from
+    /// different nodes interleave globally. The sharded cluster runtime
+    /// relies on this: it is what keeps fault draws identical across shard
+    /// counts. Call once, before any `judge` draws; a repeat call with the
+    /// same or smaller `nodes` is a no-op.
+    pub fn split_per_source(&mut self, nodes: usize) {
+        if self.streams.len() >= nodes {
+            return;
+        }
+        let mut base = self.rng.clone();
+        let streams: Vec<DetRng> = (0..nodes).map(|_| base.fork()).collect();
+        self.streams = streams;
+    }
+
+    /// True when the plan has been split into per-source streams.
+    pub fn is_split(&self) -> bool {
+        !self.streams.is_empty()
+    }
+
     /// True when `node` is inside a crash window at `at`.
     pub fn node_down(&self, node: u16, at: SimTime) -> bool {
         self.crashes
@@ -194,15 +221,20 @@ impl FaultPlan {
         if self.link_is_down(s, now) || self.link_is_down(d, now) {
             return Verdict::Drop(DropReason::LinkDown);
         }
-        if self.rng.chance(self.loss_for(s, d)) {
+        let loss_p = self.loss_for(s, d);
+        let rng = match self.streams.get_mut(s as usize) {
+            Some(stream) => stream,
+            None => &mut self.rng,
+        };
+        if rng.chance(loss_p) {
             return Verdict::Drop(DropReason::Loss);
         }
-        if self.rng.chance(self.corrupt) {
+        if rng.chance(self.corrupt) {
             // Any single damaged byte inside the IPv4 header breaks the RFC
             // 1071 checksum (a one-byte xor can never shift a 16-bit word by
             // a multiple of 0xFFFF), so `parse_headers` is guaranteed to
             // reject the frame at the receiver.
-            let flip = self.rng.index(20) as u8;
+            let flip = rng.index(20) as u8;
             return Verdict::Corrupt { flip };
         }
         Verdict::Deliver
@@ -301,6 +333,42 @@ mod tests {
                 v => panic!("expected corruption, got {v:?}"),
             }
         }
+    }
+
+    #[test]
+    fn per_source_streams_are_interleaving_invariant() {
+        // After `split_per_source`, a node's verdicts depend only on its own
+        // send sequence, not on how sends from different nodes interleave —
+        // the property the sharded cluster runtime builds on.
+        let mk = || {
+            let mut p = FaultPlan::new(42).with_loss(0.3).with_corruption(0.1);
+            p.split_per_source(4);
+            p
+        };
+        let (mut a, mut b) = (mk(), mk());
+        // a: node 0 sends 32 frames back to back, then node 1 sends 32.
+        let a0: Vec<_> = (0..32)
+            .map(|_| a.judge(SimTime::ZERO, &pkt(0, 2)))
+            .collect();
+        let a1: Vec<_> = (0..32)
+            .map(|_| a.judge(SimTime::ZERO, &pkt(1, 2)))
+            .collect();
+        // b: the same sends, interleaved frame by frame.
+        let mut b0 = Vec::new();
+        let mut b1 = Vec::new();
+        for _ in 0..32 {
+            b0.push(b.judge(SimTime::ZERO, &pkt(0, 2)));
+            b1.push(b.judge(SimTime::ZERO, &pkt(1, 2)));
+        }
+        assert_eq!(a0, b0);
+        assert_eq!(a1, b1);
+        // Unsplit plans keep the legacy shared stream (order-dependent).
+        let mut c = FaultPlan::new(42).with_loss(0.3).with_corruption(0.1);
+        assert!(!c.is_split());
+        let c0: Vec<_> = (0..32)
+            .map(|_| c.judge(SimTime::ZERO, &pkt(0, 2)))
+            .collect();
+        assert_ne!(a0, c0, "split streams intentionally differ from legacy");
     }
 
     #[test]

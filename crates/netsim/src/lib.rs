@@ -15,5 +15,5 @@ pub mod net;
 pub mod packet;
 
 pub use fault::{Delivery, DropReason, FaultPlan};
-pub use net::NetModel;
+pub use net::{NetModel, TxPhase};
 pub use packet::{NodeId, Packet, PacketKind};

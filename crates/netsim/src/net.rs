@@ -11,7 +11,8 @@ use ipipe_sim::SimTime;
 
 /// A star topology: every node hangs off one ToR switch (Arista DCS-7050S /
 /// Cavium XP70 in the paper's testbed) with a full-duplex link of
-/// `link_gbps`.
+/// `link_gbps`. An optional rack layer adds a fixed inter-rack hop to
+/// frames crossing rack boundaries (see [`NetModel::set_racks`]).
 #[derive(Debug, Clone)]
 pub struct NetModel {
     link_gbps: f64,
@@ -26,6 +27,11 @@ pub struct NetModel {
     tx_free: Vec<SimTime>,
     /// Per-node ingress port busy-until.
     rx_free: Vec<SimTime>,
+    /// Rack id per node; empty = single flat rack (no extra hop anywhere).
+    rack_of: Vec<u16>,
+    /// Extra one-way latency for frames whose endpoints sit in different
+    /// racks (aggregation-switch hop). Zero without racks.
+    cross_rack_extra: SimTime,
     /// Bytes moved, for throughput accounting.
     bytes_sent: u64,
     packets_sent: u64,
@@ -33,6 +39,32 @@ pub struct NetModel {
     fault: Option<FaultPlan>,
     /// Optional registry handles (see [`NetModel::attach_obs`]).
     obs: Option<NetMetrics>,
+}
+
+/// Outcome of the egress half of a two-phase transfer
+/// (see [`NetModel::begin_transfer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxPhase {
+    /// Frame left the sender; its first byte reaches the destination's
+    /// ingress port at `port_ready` (ingress contention not yet resolved —
+    /// call [`NetModel::finish_transfer`] at that instant).
+    Sent {
+        /// When the frame is at the destination ingress port.
+        port_ready: SimTime,
+    },
+    /// As `Sent`, but the frame was corrupted on the wire: it still burns
+    /// the ingress port before the receiver's header validation rejects it.
+    SentCorrupt {
+        /// When the frame is at the destination ingress port.
+        port_ready: SimTime,
+        /// Damaged byte offset within the IPv4 header (0..20).
+        flip: u8,
+    },
+    /// Frame never reaches the destination port.
+    Dropped {
+        /// Why it was lost.
+        reason: DropReason,
+    },
 }
 
 /// Registry handles published when an observability registry is attached.
@@ -58,6 +90,8 @@ impl NetModel {
             propagation: SimTime::from_ns(50),
             tx_free: vec![SimTime::ZERO; nodes],
             rx_free: vec![SimTime::ZERO; nodes],
+            rack_of: Vec::new(),
+            cross_rack_extra: SimTime::ZERO,
             bytes_sent: 0,
             packets_sent: 0,
             fault: None,
@@ -101,6 +135,27 @@ impl NetModel {
         self.fault.as_ref().and_then(|f| f.down_until(node, at))
     }
 
+    /// Assign every node to a rack and charge `cross_rack_extra` extra
+    /// one-way latency on frames whose endpoints sit in different racks
+    /// (the aggregation-switch hop of a two-tier fabric). `rack_of.len()`
+    /// must equal the node count. Rack-aligned event shards profit twice:
+    /// the extra hop raises the cross-shard lookahead, widening epochs.
+    pub fn set_racks(&mut self, rack_of: Vec<u16>, cross_rack_extra: SimTime) {
+        assert_eq!(rack_of.len(), self.nodes(), "one rack id per node");
+        self.rack_of = rack_of;
+        self.cross_rack_extra = cross_rack_extra;
+    }
+
+    /// Extra one-way latency between `src` and `dst` from the rack layer.
+    #[inline]
+    fn path_extra(&self, src: usize, dst: usize) -> SimTime {
+        if self.rack_of.is_empty() || self.rack_of[src] == self.rack_of[dst] {
+            SimTime::ZERO
+        } else {
+            self.cross_rack_extra
+        }
+    }
+
     /// Number of attached nodes.
     pub fn nodes(&self) -> usize {
         self.tx_free.len()
@@ -137,7 +192,8 @@ impl NetModel {
         let tx_end = tx_start + wire;
         self.tx_free[s] = tx_end;
 
-        let rx_start = (tx_end + self.switch_latency + self.propagation).max(self.rx_free[d]);
+        let rx_start = (tx_end + self.switch_latency + self.propagation + self.path_extra(s, d))
+            .max(self.rx_free[d]);
         let rx_end = rx_start + wire;
         self.rx_free[d] = rx_end;
 
@@ -214,6 +270,128 @@ impl NetModel {
                 Delivery::Dropped { reason }
             }
         }
+    }
+
+    /// Egress half of a two-phase transfer: judge faults, charge the
+    /// sender's egress port and byte accounting, and report when the frame
+    /// is at the destination's ingress port (`port_ready`). Ingress
+    /// contention is *not* resolved here — the caller must invoke
+    /// [`NetModel::finish_transfer`] once simulation time reaches
+    /// `port_ready`, resolving arrivals at each port in timestamp order.
+    ///
+    /// Splitting the transfer this way makes ingress resolution independent
+    /// of the *call* order of sends: the sharded cluster runtime buffers
+    /// `TxPhase` results in per-destination pools ordered by
+    /// `(port_ready, src, seq)` and drains them at each instant, so any
+    /// shard count resolves contention identically. Occupancy and fault
+    /// accounting match [`NetModel::transfer_checked`] exactly: lost frames
+    /// charge egress only, corrupt frames take the full path, down
+    /// endpoints leave no trace.
+    pub fn begin_transfer(&mut self, now: SimTime, pkt: &Packet) -> TxPhase {
+        let (s, d) = (pkt.src.0 as usize, pkt.dst.0 as usize);
+        assert!(s < self.nodes() && d < self.nodes(), "unknown node");
+        assert_ne!(s, d, "loopback packets never reach the wire");
+        let verdict = match &mut self.fault {
+            None => Verdict::Deliver,
+            Some(plan) => plan.judge(now, pkt),
+        };
+        let wire = self.wire_time(pkt.size);
+        match verdict {
+            Verdict::Deliver | Verdict::Corrupt { .. } => {
+                let tx_start = now.max(self.tx_free[s]);
+                let tx_end = tx_start + wire;
+                self.tx_free[s] = tx_end;
+                self.bytes_sent += (pkt.size + WIRE_OVERHEAD_BYTES) as u64;
+                self.packets_sent += 1;
+                let port_ready =
+                    tx_end + self.switch_latency + self.propagation + self.path_extra(s, d);
+                if let Some(m) = &self.obs {
+                    m.packets.inc();
+                    m.bytes.add((pkt.size + WIRE_OVERHEAD_BYTES) as u64);
+                    m.tx_wait.record(tx_start.saturating_sub(now));
+                    if let Verdict::Corrupt { .. } = verdict {
+                        m.corrupt.inc();
+                    }
+                }
+                match verdict {
+                    Verdict::Corrupt { flip } => TxPhase::SentCorrupt { port_ready, flip },
+                    _ => TxPhase::Sent { port_ready },
+                }
+            }
+            Verdict::Drop(reason) => {
+                match reason {
+                    DropReason::Loss => {
+                        // Serialized, then eaten by the wire: egress + bytes.
+                        let tx_start = now.max(self.tx_free[s]);
+                        self.tx_free[s] = tx_start + wire;
+                        self.bytes_sent += (pkt.size + WIRE_OVERHEAD_BYTES) as u64;
+                        self.packets_sent += 1;
+                        if let Some(m) = &self.obs {
+                            m.packets.inc();
+                            m.bytes.add((pkt.size + WIRE_OVERHEAD_BYTES) as u64);
+                            m.tx_wait.record(tx_start.saturating_sub(now));
+                            m.drop_loss.inc();
+                        }
+                    }
+                    DropReason::LinkDown => {
+                        if let Some(m) = &self.obs {
+                            m.drop_link.inc();
+                        }
+                    }
+                    DropReason::NodeDown => {
+                        if let Some(m) = &self.obs {
+                            m.drop_node.inc();
+                        }
+                    }
+                }
+                TxPhase::Dropped { reason }
+            }
+        }
+    }
+
+    /// Ingress half of a two-phase transfer: the frame is at `dst`'s port
+    /// at `port_ready`; resolve ingress-port contention and return when its
+    /// last byte lands. Call in `(port_ready, …)` order per destination.
+    pub fn finish_transfer(&mut self, port_ready: SimTime, dst: u16, size: u32) -> SimTime {
+        let d = dst as usize;
+        assert!(d < self.nodes(), "unknown node");
+        let rx_start = port_ready.max(self.rx_free[d]);
+        let rx_end = rx_start + self.wire_time(size);
+        self.rx_free[d] = rx_end;
+        rx_end
+    }
+
+    /// Lower bound on `port_ready - now` for any frame between any pair of
+    /// nodes: minimum serialization (empty payload still carries Ethernet
+    /// overhead) plus the fixed switch + propagation delay. Strictly
+    /// positive.
+    pub fn min_latency(&self) -> SimTime {
+        self.wire_time(0) + self.switch_latency + self.propagation
+    }
+
+    /// Conservative-lookahead bound for a sharded run: the minimum
+    /// `port_ready - now` over all *cross-shard* node pairs under the
+    /// shard assignment `shard_of` (one entry per node). `None` when no
+    /// pair crosses a shard boundary (single shard). With a rack layer,
+    /// shard assignments aligned to racks earn the extra inter-rack hop as
+    /// additional lookahead.
+    pub fn min_cross_latency(&self, shard_of: &[u16]) -> Option<SimTime> {
+        assert_eq!(shard_of.len(), self.nodes(), "one shard id per node");
+        let base = self.min_latency();
+        let mut best: Option<SimTime> = None;
+        for s in 0..self.nodes() {
+            for d in 0..self.nodes() {
+                if s == d || shard_of[s] == shard_of[d] {
+                    continue;
+                }
+                let l = base + self.path_extra(s, d);
+                best = Some(match best {
+                    Some(b) if b <= l => b,
+                    _ => l,
+                });
+            }
+        }
+        best
     }
 
     /// Unloaded one-way latency for a frame of `size` bytes.
@@ -485,6 +663,94 @@ mod tests {
         let wait = reg.hist("net.tx_wait");
         assert_eq!(wait.count(), 2);
         assert!(wait.max() >= n.wire_time(1000), "second frame waited");
+    }
+
+    #[test]
+    fn two_phase_transfer_matches_one_shot_transfer() {
+        // begin_transfer + finish_transfer at port_ready reproduces the
+        // classic transfer timeline exactly — including egress backpressure
+        // and ingress contention — when arrivals are resolved in
+        // port_ready order.
+        let mut one = NetModel::new(4, 10.0);
+        let mut two = NetModel::new(4, 10.0);
+        let frames = [
+            (0u16, 3u16, 1500u32, 0u64),
+            (1, 3, 1500, 0),
+            (2, 3, 900, 1),
+            (0, 2, 64, 2),
+            (1, 2, 64, 2),
+        ];
+        let mut pending: Vec<(SimTime, u16, u32, SimTime)> = Vec::new();
+        for &(s, d, sz, us) in &frames {
+            let now = SimTime::from_us(us);
+            let at = one.transfer(now, &pkt(s, d, sz));
+            match two.begin_transfer(now, &pkt(s, d, sz)) {
+                TxPhase::Sent { port_ready } => pending.push((port_ready, d, sz, at)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Resolve arrivals in (port_ready, src-order-preserving) order.
+        pending.sort_by_key(|&(pr, d, _, _)| (pr, d));
+        for (pr, d, sz, want) in pending {
+            assert_eq!(two.finish_transfer(pr, d, sz), want);
+        }
+        assert_eq!(one.bytes_sent(), two.bytes_sent());
+        assert_eq!(one.packets_sent(), two.packets_sent());
+    }
+
+    #[test]
+    fn two_phase_faults_match_checked_occupancy() {
+        let plan = || FaultPlan::new(6).with_loss(0.4).with_corruption(0.2);
+        let mut a = NetModel::new(3, 10.0);
+        a.set_fault_plan(plan());
+        let mut b = NetModel::new(3, 10.0);
+        b.set_fault_plan(plan());
+        for i in 0..200u64 {
+            let p = pkt(0, 1 + (i % 2) as u16, 600);
+            let now = SimTime::from_ns(100 * i);
+            let checked = a.transfer_checked(now, &p);
+            let phase = b.begin_transfer(now, &p);
+            match (checked, phase) {
+                (Delivery::Delivered { at }, TxPhase::Sent { port_ready }) => {
+                    assert_eq!(b.finish_transfer(port_ready, p.dst.0, p.size), at);
+                }
+                (
+                    Delivery::Corrupted { at, flip },
+                    TxPhase::SentCorrupt {
+                        port_ready,
+                        flip: f,
+                    },
+                ) => {
+                    assert_eq!(flip, f);
+                    assert_eq!(b.finish_transfer(port_ready, p.dst.0, p.size), at);
+                }
+                (Delivery::Dropped { reason }, TxPhase::Dropped { reason: r }) => {
+                    assert_eq!(reason, r);
+                }
+                (c, p) => panic!("diverged: {c:?} vs {p:?}"),
+            }
+        }
+        assert_eq!(a.bytes_sent(), b.bytes_sent());
+        assert_eq!(a.packets_sent(), b.packets_sent());
+    }
+
+    #[test]
+    fn cross_shard_lookahead_reflects_racks() {
+        let mut n = NetModel::new(4, 10.0);
+        // Two shards, flat topology: lookahead = min_latency.
+        let flat = n.min_cross_latency(&[0, 0, 1, 1]).unwrap();
+        assert_eq!(flat, n.min_latency());
+        assert!(flat > SimTime::ZERO);
+        // Single shard: no cross pairs.
+        assert_eq!(n.min_cross_latency(&[0, 0, 0, 0]), None);
+        // Rack-aligned shards earn the inter-rack hop as extra lookahead.
+        n.set_racks(vec![0, 0, 1, 1], SimTime::from_us(1));
+        assert_eq!(
+            n.min_cross_latency(&[0, 0, 1, 1]).unwrap(),
+            n.min_latency() + SimTime::from_us(1)
+        );
+        // A shard split that straddles a rack loses the bonus.
+        assert_eq!(n.min_cross_latency(&[0, 1, 0, 1]).unwrap(), n.min_latency());
     }
 
     #[test]

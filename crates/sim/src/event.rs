@@ -740,6 +740,117 @@ impl<E> AnyEventQueue<E> {
     }
 }
 
+/// A deterministic merge buffer: a min-heap of totally ordered entries.
+///
+/// The sharded cluster runtime parks in-flight cross-shard arrivals here,
+/// keyed by a total order (arrival time, destination, source, per-source
+/// sequence) so that draining the pool at each simulated instant resolves
+/// arrivals identically for every shard count. It is a thin
+/// `BinaryHeap<Reverse<T>>` wrapper; the determinism comes from `T`'s `Ord`
+/// being total over all entries ever co-resident (give every entry a unique
+/// tiebreak sequence).
+#[derive(Debug)]
+pub struct MergePool<T: Ord> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<T>>,
+}
+
+impl<T: Ord> Default for MergePool<T> {
+    fn default() -> Self {
+        MergePool::new()
+    }
+}
+
+impl<T: Ord> MergePool<T> {
+    /// An empty pool.
+    pub fn new() -> MergePool<T> {
+        MergePool {
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Insert an entry.
+    #[inline]
+    pub fn push(&mut self, entry: T) {
+        self.heap.push(std::cmp::Reverse(entry));
+    }
+
+    /// The smallest entry, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.heap.peek().map(|r| &r.0)
+    }
+
+    /// Remove and return the smallest entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Number of parked entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drain all entries in ascending order.
+    pub fn drain_sorted(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+/// Work/span accounting for an epoch-synchronized sharded run.
+///
+/// Each lockstep epoch processes some events on every shard; the *critical
+/// path* of the run is the sum over epochs of the busiest shard's event
+/// count — the events a perfectly parallel machine would still have to
+/// execute serially. `speedup()` = total events / critical path is the
+/// upper bound on wall-clock speedup the sharding exposes, independent of
+/// how many cores the host actually has.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Lockstep epochs executed.
+    pub epochs: u64,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// Sum over epochs of the busiest shard's event count.
+    pub critical_path: u64,
+}
+
+impl EpochStats {
+    /// Record one epoch given each shard's processed-event delta.
+    pub fn note(&mut self, per_shard: &[u64]) {
+        let total: u64 = per_shard.iter().sum();
+        if total == 0 {
+            return;
+        }
+        self.epochs += 1;
+        self.events += total;
+        self.critical_path += per_shard.iter().copied().max().unwrap_or(0);
+    }
+
+    /// Ideal speedup exposed by the sharding: total work over critical
+    /// path (1.0 when serial or empty).
+    pub fn speedup(&self) -> f64 {
+        if self.critical_path == 0 {
+            return 1.0;
+        }
+        self.events as f64 / self.critical_path as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +865,36 @@ mod tests {
         assert_eq!(order, vec!["a", "b", "c"]);
         assert_eq!(q.now(), SimTime::from_us(30));
         assert_eq!(q.fired(), 3);
+    }
+
+    #[test]
+    fn merge_pool_drains_in_total_order() {
+        let mut p: MergePool<(u64, u16, u64)> = MergePool::new();
+        assert!(p.is_empty());
+        // Push in scrambled order; drain must be ascending by the full key.
+        for e in [(5, 1, 0), (3, 0, 2), (3, 0, 1), (3, 1, 0), (9, 0, 0)] {
+            p.push(e);
+        }
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.peek(), Some(&(3, 0, 1)));
+        assert_eq!(
+            p.drain_sorted(),
+            vec![(3, 0, 1), (3, 0, 2), (3, 1, 0), (5, 1, 0), (9, 0, 0)]
+        );
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn epoch_stats_track_work_and_span() {
+        let mut s = EpochStats::default();
+        assert_eq!(s.speedup(), 1.0);
+        s.note(&[10, 30, 20, 0]); // busiest shard: 30
+        s.note(&[0, 0, 0, 0]); // empty epochs don't count
+        s.note(&[25, 25, 25, 25]); // busiest shard: 25
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.events, 160);
+        assert_eq!(s.critical_path, 55);
+        assert!((s.speedup() - 160.0 / 55.0).abs() < 1e-12);
     }
 
     #[test]

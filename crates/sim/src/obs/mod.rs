@@ -127,6 +127,16 @@ impl Obs {
         })
     }
 
+    /// The configuration this handle was built with (level + actual ring
+    /// capacity). Lets a sharded runtime build sibling handles that record
+    /// identically to the user's handle.
+    pub fn config(&self) -> ObsConfig {
+        ObsConfig {
+            level: self.inner.level,
+            trace_capacity: self.inner.trace.borrow().capacity(),
+        }
+    }
+
     /// The metrics registry.
     pub fn registry(&self) -> &Registry {
         &self.inner.registry
@@ -227,6 +237,11 @@ impl Obs {
     /// Records dropped because the ring was full or disabled.
     pub fn trace_dropped(&self) -> u64 {
         self.inner.trace.borrow().dropped()
+    }
+
+    /// Records ever pushed into the ring (held + evicted).
+    pub fn trace_recorded(&self) -> u64 {
+        self.inner.trace.borrow().recorded()
     }
 
     /// Copy the trace records out, oldest first.

@@ -149,6 +149,12 @@ impl HistHandle {
     pub fn to_histogram(&self) -> Histogram {
         self.0.borrow().clone()
     }
+
+    /// Fold another histogram's buckets into this handle (order-independent;
+    /// used to aggregate per-shard histograms into a cluster view).
+    pub fn merge_from(&self, other: &Histogram) {
+        self.0.borrow_mut().merge(other);
+    }
 }
 
 /// The registry proper. Interior-mutable so subsystems can register metrics

@@ -16,23 +16,17 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Advisory DES microbenchmark smoke: compare against the committed baseline
-# (BENCH_des.json). Machine-dependent, so a regression only warns — the
-# structured JSON line is the artifact CI archives for trend tracking.
-echo "==> desbench (advisory, baseline BENCH_des.json)"
-if out=$(cargo run --release -q -p ipipe-bench --bin desbench 2>/dev/null); then
-    echo "$out"
-    base=$(grep -o '"speedup":[0-9.]*' BENCH_des.json | cut -d: -f2)
-    cur=$(echo "$out" | grep -o '"speedup":[0-9.]*' | cut -d: -f2)
-    if [ -n "$base" ] && [ -n "$cur" ]; then
-        if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c < b / 2) }'; then
-            echo "WARN: wheel-vs-heap speedup ${cur}x fell below half the baseline ${base}x (advisory only)"
-        else
-            echo "desbench speedup ${cur}x vs baseline ${base}x — ok"
-        fi
-    fi
-else
-    echo "WARN: desbench failed to run (advisory only)"
-fi
+# Hard DES perf-regression gate: wheel throughput must stay within 30% of
+# the committed baseline (BENCH_des.json).
+echo "==> desbench perf gate (baseline BENCH_des.json)"
+./scripts/perf_gate.sh
+
+# Sharded-DES determinism: two same-seed 8-shard pod runs must write
+# byte-identical canonical exports.
+echo "==> pardesbench determinism (8 shards, same seed twice)"
+cargo run --release -q -p ipipe-bench --bin pardesbench -- --export /tmp/pardes_a.jsonl --shards 8
+cargo run --release -q -p ipipe-bench --bin pardesbench -- --export /tmp/pardes_b.jsonl --shards 8
+diff /tmp/pardes_a.jsonl /tmp/pardes_b.jsonl
+echo "pardesbench exports are byte-identical"
 
 echo "==> all checks passed"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# DES perf-regression gate: the timing-wheel microbenchmark's throughput
+# must stay within 30% of the committed baseline (BENCH_des.json).
+#
+# The baseline is machine-dependent; regenerate it on the reference machine
+# with `cargo run --release -p ipipe-bench --bin desbench > BENCH_des.json`
+# whenever the hardware or the workload definition changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(cargo run --release -q -p ipipe-bench --bin desbench)
+echo "$out"
+
+extract_wheel_eps() {
+    # events_per_sec inside the "wheel" object of a one-line desbench JSON.
+    grep -o '"wheel":{[^}]*}' "$1" | grep -o '"events_per_sec":[0-9.]*' | cut -d: -f2
+}
+
+base=$(extract_wheel_eps BENCH_des.json)
+cur=$(echo "$out" | grep -o '"wheel":{[^}]*}' | grep -o '"events_per_sec":[0-9.]*' | cut -d: -f2)
+if [ -z "$base" ] || [ -z "$cur" ]; then
+    echo "FAIL: could not extract wheel events_per_sec (base='$base' cur='$cur')"
+    exit 1
+fi
+if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c < 0.7 * b) }'; then
+    echo "FAIL: wheel throughput ${cur} events/s regressed >30% below baseline ${base} events/s"
+    exit 1
+fi
+echo "perf gate: wheel ${cur} events/s vs baseline ${base} events/s — within 30%"

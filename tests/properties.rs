@@ -428,10 +428,180 @@ proptest! {
     }
 }
 
+/// Fixed-cost echo actor for the sharding properties below.
+struct PropEcho {
+    cost: SimTime,
+}
+
+impl ipipe_repro::ipipe::actor::ActorLogic for PropEcho {
+    fn exec(&mut self, ctx: &mut ipipe_repro::ipipe::actor::ActorCtx<'_>, req: Request) {
+        ctx.charge(self.cost);
+        ctx.reply(req, 64, None);
+    }
+}
+
+/// Build and drive one echo cluster under `shards` event shards; returns
+/// the audit outcome, completion count and canonical export.
+#[allow(clippy::too_many_arguments)]
+fn sharded_echo_run(
+    seed: u64,
+    servers: usize,
+    clients: usize,
+    shards: usize,
+    outstanding: u32,
+    cost_us: u64,
+    loss_pct: u32,
+    crash: bool,
+) -> (bool, String, u64, String) {
+    use ipipe_repro::ipipe::actor::Address;
+    use ipipe_repro::ipipe::rt::{ClientReq, Cluster, Placement, RetryPolicy};
+    use ipipe_repro::netsim::FaultPlan;
+
+    let mut c = Cluster::builder(CN2350)
+        .servers(servers)
+        .clients(clients)
+        .seed(seed)
+        .shards(shards)
+        .build();
+    let actors: Vec<Address> = (0..servers)
+        .map(|n| {
+            c.register_actor(
+                n,
+                "echo",
+                Box::new(PropEcho {
+                    cost: SimTime::from_us(cost_us),
+                }),
+                Placement::Nic,
+            )
+        })
+        .collect();
+    for cl in 0..clients {
+        let targets = actors.clone();
+        c.set_client(
+            cl,
+            Box::new(move |rng, _| ClientReq {
+                dst: targets[rng.index(targets.len())],
+                wire_size: 128,
+                flow: rng.below(1 << 20),
+                payload: None,
+            }),
+            outstanding,
+        );
+        c.set_client_retry(
+            cl,
+            RetryPolicy {
+                timeout: SimTime::from_us(300),
+                cap: SimTime::from_ms(2),
+                max_tries: 16,
+            },
+            None,
+        );
+    }
+    let mut plan = FaultPlan::new(seed ^ 0xBEEF).with_loss(loss_pct as f64 / 100.0);
+    if crash {
+        plan = plan.with_crash(0, SimTime::from_ms(1), SimTime::from_ms(2));
+    }
+    c.set_fault_plan(plan);
+    c.run_for(SimTime::from_ms(2));
+    let report = c.audit();
+    c.run_for(SimTime::from_ms(1));
+    (
+        report.is_clean(),
+        report.render(),
+        c.completions().count(),
+        c.export_canonical_jsonl(),
+    )
+}
+
+/// Pinned (non-random) guard for the sharded engine's observability
+/// contract: the shard count must not leak into a single exported byte —
+/// not a metric name, not a trace record, not the meta line — and the
+/// canonical Chrome export must be equally invariant.
+#[test]
+fn shard_count_leaves_no_fingerprint_in_exports() {
+    use ipipe_repro::ipipe::actor::Address;
+    use ipipe_repro::ipipe::rt::{ClientReq, Cluster, Placement};
+
+    let run = |shards: usize| {
+        let mut c = Cluster::builder(CN2350)
+            .servers(4)
+            .clients(2)
+            .seed(99)
+            .shards(shards)
+            .build();
+        let actors: Vec<Address> = (0..4)
+            .map(|n| {
+                c.register_actor(
+                    n,
+                    "echo",
+                    Box::new(PropEcho {
+                        cost: SimTime::from_us(5),
+                    }),
+                    Placement::Nic,
+                )
+            })
+            .collect();
+        for cl in 0..2 {
+            let targets = actors.clone();
+            c.set_client(
+                cl,
+                Box::new(move |rng, _| ClientReq {
+                    dst: targets[rng.index(targets.len())],
+                    wire_size: 128,
+                    flow: rng.below(1 << 20),
+                    payload: None,
+                }),
+                4,
+            );
+        }
+        c.run_for(SimTime::from_ms(2));
+        (c.export_canonical_jsonl(), c.export_canonical_chrome())
+    };
+    let (jsonl1, chrome1) = run(1);
+    for shards in [2, 4, 5] {
+        let (jsonl, chrome) = run(shards);
+        assert_eq!(jsonl, jsonl1, "{shards}-shard JSONL export diverged");
+        assert_eq!(chrome, chrome1, "{shards}-shard Chrome export diverged");
+    }
+    // Nothing in the export names the engine's partitioning.
+    assert!(
+        !jsonl1.to_lowercase().contains("shard"),
+        "export mentions sharding:\n{jsonl1}"
+    );
+    assert!(jsonl1.lines().count() > 20, "export suspiciously small");
+}
+
 // Scenario-level audit properties: whole-cluster runs are slower than the
 // data-structure properties above, so they get a smaller case budget.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The sharded engine is a pure execution mechanism: for random seeds,
+    /// topologies, shard counts (including counts above the node count,
+    /// which clamp) and fault plans, the canonical export, completion count
+    /// and mid-run audit all byte-match the 1-shard serial reference.
+    #[test]
+    fn sharded_runs_byte_match_serial(
+        seed in any::<u64>(),
+        servers in 2usize..7,
+        clients in 1usize..4,
+        shards in 2usize..12,
+        outstanding in 1u32..9,
+        cost_us in 1u64..20,
+        loss_pct in 0u32..3,
+        crash in any::<bool>(),
+    ) {
+        let (clean1, report1, done1, export1) = sharded_echo_run(
+            seed, servers, clients, 1, outstanding, cost_us, loss_pct, crash,
+        );
+        prop_assert!(clean1, "serial audit dirty:\n{}", report1);
+        let (clean_n, report_n, done_n, export_n) = sharded_echo_run(
+            seed, servers, clients, shards, outstanding, cost_us, loss_pct, crash,
+        );
+        prop_assert!(clean_n, "{}-shard audit dirty:\n{}", shards, report_n);
+        prop_assert_eq!(done_n, done1, "completions diverged under {} shards", shards);
+        prop_assert_eq!(export_n, export1, "canonical export diverged under {} shards", shards);
+    }
 
     /// The quiesce-time conservation audit holds across random seeds,
     /// replica counts and fault intensities for the RKV scenario (a
