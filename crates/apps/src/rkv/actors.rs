@@ -176,6 +176,9 @@ pub struct ConsensusActor {
     /// `rkv.dup.commits`: retransmitted commands that re-committed into a
     /// second slot and were absorbed at apply time (exactly-once evidence).
     dup_commits: Option<Counter>,
+    /// Client operations (reads and writes) that entered through this
+    /// replica — the hotspot signal the multi-group rebalancer reads.
+    ops: Option<Counter>,
 }
 
 impl ConsensusActor {
@@ -192,6 +195,7 @@ impl ConsensusActor {
             inflight_tokens: HashMap::new(),
             buffered: None,
             dup_commits: None,
+            ops: None,
         }
     }
 
@@ -210,6 +214,14 @@ impl ConsensusActor {
     /// Attach the `rkv.dup.commits` counter.
     pub fn with_dup_counter(mut self, c: Counter) -> ConsensusActor {
         self.dup_commits = Some(c);
+        self
+    }
+
+    /// Attach a per-group client-operation counter (the rebalancer's
+    /// hotspot signal). Metric reads never perturb event or RNG order, so
+    /// deployments without it stay byte-identical.
+    pub fn with_ops_counter(mut self, c: Counter) -> ConsensusActor {
+        self.ops = Some(c);
         self
     }
 
@@ -345,6 +357,9 @@ impl ActorLogic for ConsensusActor {
         match *msg {
             RkvMsg::Client(op) => {
                 ctx.charge_work(700); // request parse + dispatch
+                if let Some(c) = &self.ops {
+                    c.inc();
+                }
                 match op {
                     KvOp::Get { key } => {
                         // Fast-path reads go straight to the Memtable actor.

@@ -12,11 +12,15 @@
 pub mod actors;
 pub mod bloom;
 pub mod lsm;
+pub mod multi;
 pub mod paxos;
+pub mod placement;
 
 pub use actors::{
     audit_rkv_exactly_once, CompactionActor, ConsensusActor, MemtableActor, SstReadActor,
 };
 pub use bloom::BloomFilter;
 pub use lsm::{Levels, SsTable};
+pub use multi::{audit_multi_rkv_exactly_once, deploy_multi_rkv, MultiRkv, RebalanceCfg};
 pub use paxos::{PaxosMsg, PaxosNode, Role};
+pub use placement::RoutingTable;

@@ -1,0 +1,98 @@
+//! The committed scale figure: the planetary rkv-scale scenario (64 Paxos
+//! groups, 2^20 modeled users behind aggregated open-loop generators,
+//! hotspot rebalancing) run end to end, timed, and byte-diffed across shard
+//! counts.
+//!
+//! For the serial reference the run reports measured wall-clock time and
+//! DES events/s plus the scenario's own headline figures — committed
+//! throughput (requests/s of *simulated* traffic) and p50/p99 latency.
+//! Each sharded re-run must reproduce the serial canonical export byte for
+//! byte (the bench doubles as the scale determinism check; a mismatch is a
+//! hard failure) and reports its epoch critical-path speedup.
+//!
+//! Prints a single line of JSON to stdout. Run with
+//! `cargo run --release -p ipipe-bench --bin scalebench`; commit the output
+//! as `BENCH_scale.json` to refresh the perf-gate baseline
+//! (`scripts/perf_gate.sh` fails a run whose serial events/s drops more
+//! than 30% below it).
+//!
+//! `scalebench --smoke` runs the 16-group / 10^5-user CI size instead; the
+//! JSON shape is identical.
+
+use std::time::Instant;
+
+use ipipe_bench::scale::{run_rkv_scale, ScaleSpec, ScaleStats};
+
+/// Master seed shared by every variant.
+const SEED: u64 = 64;
+
+struct RunResult {
+    wall_ms: f64,
+    stats: ScaleStats,
+    critical_path_speedup: f64,
+    export: String,
+}
+
+fn run(smoke: bool, shards: usize) -> RunResult {
+    let spec = if smoke {
+        ScaleSpec::smoke(SEED, shards)
+    } else {
+        ScaleSpec::planetary(SEED, shards)
+    };
+    let start = Instant::now();
+    let (stats, c) = run_rkv_scale(&spec);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    RunResult {
+        wall_ms,
+        stats,
+        critical_path_speedup: c.epoch_stats().speedup(),
+        export: c.export_canonical_jsonl(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| match a.as_str() {
+        "--smoke" => true,
+        other => panic!("unknown argument {other:?} (want --smoke)"),
+    });
+    // Warmup: touch every code path once so allocator and page-cache state
+    // don't bias the serial reference.
+    run(smoke, 1);
+    let serial = run(smoke, 1);
+    let serial_eps = serial.stats.events as f64 / (serial.wall_ms / 1e3);
+    let mut cols = Vec::new();
+    for shards in [2usize, 4, 8] {
+        let r = run(smoke, shards);
+        assert_eq!(
+            r.export, serial.export,
+            "{shards}-shard canonical export diverged from serial"
+        );
+        cols.push(format!(
+            "{{\"shards\":{},\"wall_ms\":{:.2},\"critical_path_speedup\":{:.2},\"byte_identical\":true}}",
+            shards, r.wall_ms, r.critical_path_speedup,
+        ));
+    }
+    let s = &serial.stats;
+    println!(
+        concat!(
+            "{{\"bench\":\"scalebench\",\"smoke\":{},\"groups\":{},\"users\":{},",
+            "\"issued\":{},\"done\":{},\"migrations\":{},",
+            "\"throughput_rps\":{:.0},\"p50_us\":{:.1},\"p99_us\":{:.1},",
+            "\"scale\":{{\"wall_ms\":{:.2},\"events\":{},\"events_per_sec\":{:.0}}},",
+            "\"sharded\":[{}]}}"
+        ),
+        smoke,
+        s.groups,
+        s.users,
+        s.issued,
+        s.done,
+        s.migrations,
+        s.throughput_rps,
+        s.p50_us,
+        s.p99_us,
+        serial.wall_ms,
+        s.events,
+        serial_eps,
+        cols.join(","),
+    );
+}

@@ -1,8 +1,8 @@
 //! Run a traced scenario and summarize its observability output.
 //!
 //! ```text
-//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|fig16] \
-//!     [--seed N] [--shards N] [--verbose] [--out DIR]
+//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|rkv-scale|fig16] \
+//!     [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]
 //! ```
 //!
 //! With `--out DIR` the run's metrics (`metrics.jsonl`) and Chrome trace
@@ -10,13 +10,21 @@
 //! there. Both files are byte-identical across same-seed runs — the CI
 //! determinism job runs this binary twice and diffs the directories.
 //!
-//! `--shards N` partitions the cluster scenarios (`rkv`, `rkv-fault`) across
-//! N event shards. Cluster scenarios summarize and export through the
-//! cluster's canonical merged view ((ts, node)-ordered trace), whatever the
-//! shard count. Metrics are byte-identical to the serial run always; trace
-//! records are too unless the ring overflows (capacity is per shard, so
-//! sharded runs of overflowing scenarios retain more records). `fig16` is
-//! cluster-free and only accepts the default `--shards 1`.
+//! `--shards N` partitions the cluster scenarios (`rkv`, `rkv-fault`,
+//! `rkv-scale`) across N event shards. Cluster scenarios summarize and
+//! export through the cluster's canonical merged view ((ts, node)-ordered
+//! trace), whatever the shard count. Metrics are byte-identical to the
+//! serial run always; trace records are too unless the ring overflows
+//! (capacity is per shard, so sharded runs of overflowing scenarios retain
+//! more records). `fig16` is cluster-free and only accepts the default
+//! `--shards 1`.
+//!
+//! `rkv-scale` is the planetary multi-group scenario (`--groups`, default
+//! 64, Paxos groups serving `--users`, default 1048576, modeled users from
+//! aggregated open-loop generators, with hotspot rebalancing). It always
+//! runs metrics-only — at this event volume the per-shard trace ring would
+//! overflow and break the byte-identity of sharded exports — so `--verbose`
+//! does not apply and the trace table is empty by construction.
 
 use ipipe::rt::{ClientReq, Cluster, RuntimeMode};
 use ipipe::sched::Discipline;
@@ -24,6 +32,7 @@ use ipipe_apps::rkv::actors::{deploy_rkv, RkvMsg};
 use ipipe_baseline::fig16::run_fig16_obs;
 use ipipe_bench::fault::run_rkv_fault_traced;
 use ipipe_bench::render_table;
+use ipipe_bench::scale::{run_rkv_scale, ScaleSpec};
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::{Obs, TraceKind, TraceLevel};
 use ipipe_sim::SimTime;
@@ -35,6 +44,8 @@ struct Opts {
     scenario: String,
     seed: u64,
     shards: usize,
+    groups: usize,
+    users: u64,
     verbose: bool,
     out: Option<String>,
 }
@@ -44,6 +55,8 @@ fn parse_opts() -> Opts {
         scenario: "rkv".into(),
         seed: 2,
         shards: 1,
+        groups: 64,
+        users: 1 << 20,
         verbose: false,
         out: None,
     };
@@ -63,11 +76,23 @@ fn parse_opts() -> Opts {
                     .and_then(|s| s.parse().ok())
                     .expect("--shards needs an integer >= 1")
             }
+            "--groups" => {
+                opts.groups = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--groups needs an integer >= 1")
+            }
+            "--users" => {
+                opts.users = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--users needs an integer >= 1")
+            }
             "--verbose" => opts.verbose = true,
             "--out" => opts.out = Some(args.next().expect("--out needs a directory")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traceview [--scenario rkv|rkv-fault|fig16] [--seed N] [--shards N] [--verbose] [--out DIR]"
+                    "usage: traceview [--scenario rkv|rkv-fault|rkv-scale|fig16] [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -141,6 +166,28 @@ fn main() {
             );
             Some(c)
         }
+        // The planetary multi-group scenario: `--groups` Paxos groups,
+        // `--users` modeled users behind aggregated open-loop generators,
+        // hotspot rebalancing mid-run, audited to exactly-once at quiesce.
+        // Always metrics-only (the cluster builds its own disabled-trace
+        // obs) so sharded exports stay byte-identical at this event volume.
+        "rkv-scale" => {
+            let spec = ScaleSpec::custom(opts.seed, opts.shards, opts.groups, opts.users);
+            let (stats, c) = run_rkv_scale(&spec);
+            println!(
+                "rkv-scale: {} groups, {} users: {} requests committed of {} issued, \
+                 {:.0} req/s, p50 {:.1}us p99 {:.1}us, {} hot-shard migrations",
+                stats.groups,
+                stats.users,
+                stats.done,
+                stats.issued,
+                stats.throughput_rps,
+                stats.p50_us,
+                stats.p99_us,
+                stats.migrations
+            );
+            Some(c)
+        }
         "fig16" => {
             assert!(
                 opts.shards == 1,
@@ -149,7 +196,7 @@ fn main() {
             run_fig16_cell(opts.seed, &obs);
             None
         }
-        other => panic!("unknown scenario {other:?} (want rkv, rkv-fault or fig16)"),
+        other => panic!("unknown scenario {other:?} (want rkv, rkv-fault, rkv-scale or fig16)"),
     };
     // Cluster scenarios always summarize and export through the cluster's
     // canonical merged view ((ts, node)-ordered trace): under `--shards N`

@@ -19,6 +19,7 @@
 //! mismatch instead of a subtly wrong figure.
 
 use crate::fault::{run_rkv_fault_sharded, run_rkv_fault_with};
+use crate::scale::run_rkv_scale_sharded;
 use crate::sharded::run_fig16_grid;
 use ipipe_baseline::fig16::run_fig16_obs;
 use ipipe_nicsim::CN2350;
@@ -179,6 +180,37 @@ pub fn diff_sharded_rkv_fault(seed: u64) -> DiffOutcome {
     }
 }
 
+/// The sharding axis over the multi-group scale scenario at the CI smoke
+/// size (16 Paxos groups, 10^5 modeled users behind aggregated open-loop
+/// generators, hotspot rebalancing mid-run): every shard count in
+/// {1, 2, 4, 8} must reproduce the serial run's canonical export and
+/// headline counts byte-for-byte. No threaded variant: the multi-group
+/// wiring shares per-group `Rc` state across a group's replica nodes, so
+/// sharding is exercised single-threaded.
+pub fn diff_sharded_rkv_scale(seed: u64) -> DiffOutcome {
+    let variants = [
+        ("1-shard", 1),
+        ("2-shard", 2),
+        ("4-shard", 4),
+        ("8-shard", 8),
+    ];
+    DiffOutcome {
+        variants: variants
+            .iter()
+            .map(|&(label, shards)| {
+                let (stats, export) = run_rkv_scale_sharded(seed, shards, true);
+                (
+                    label.to_string(),
+                    format!(
+                        "issued {} done {} migrations {}\n{export}",
+                        stats.issued, stats.done, stats.migrations
+                    ),
+                )
+            })
+            .collect(),
+    }
+}
+
 /// The same sharding axis over the fig16-style whole-cluster grid (16
 /// servers + 4 clients, racked, bimodal service times, mid-run audit):
 /// every shard count must reproduce the serial run's canonical export and
@@ -245,6 +277,22 @@ mod tests {
     fn rkv_fault_is_shard_invariant() {
         let out = diff_sharded_rkv_fault(7);
         assert_eq!(out.variants.len(), 5);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+        assert!(out.variants[0].1.lines().count() > 20);
+    }
+
+    /// Sharding invariance at multi-group scale: 16 Paxos groups, 10^5
+    /// aggregated users, rebalancer-driven shard moves mid-run — the
+    /// canonical export may not move a byte under 1/2/4/8 shards.
+    #[test]
+    fn rkv_scale_is_shard_invariant() {
+        let out = diff_sharded_rkv_scale(21);
+        assert_eq!(out.variants.len(), 4);
         assert!(
             out.identical(),
             "{}\nfirst divergence: {}",

@@ -78,6 +78,32 @@ pub type ClientGenFn = Box<dyn FnMut(&mut DetRng, u64) -> ClientReq>;
 /// application keeps whatever it needs to reconstruct them).
 pub type PayloadFn = Box<dyn FnMut(u64) -> Payload>;
 
+/// Callback a client installs to observe routing-table refreshes: invoked
+/// with `(old, new)` whenever a [`Redirect`] reply moves the client's view of
+/// an address. The application layer (e.g. a sharded KV's versioned routing
+/// table) uses it to retarget *future* issues; the runtime itself retargets
+/// every already-queued retry slot still aimed at `old`.
+pub type RouteRefreshFn = Box<dyn FnMut(Address, Address)>;
+
+/// Open-loop pacing for an aggregated client generator: requests arrive as a
+/// seeded Poisson process at `rate_rps` aggregate requests per second —
+/// modeling the combined stream of many users behind one source node —
+/// independent of completions. Arrivals stop at `until` (simulated time), so
+/// scenarios can quiesce and drain the in-flight tail.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopCfg {
+    /// Aggregate arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Simulated instant past which no new request is issued.
+    pub until: SimTime,
+}
+
+/// Installed open-loop pacing state of one client.
+struct OpenLoop {
+    arrivals: ipipe_sim::PoissonArrivals,
+    until: SimTime,
+}
+
 /// Reply payload a server sends to bounce a request toward another address
 /// (e.g. a non-leader replica shedding writes toward the leader). A client
 /// with retransmission enabled resends the request there immediately.
@@ -149,6 +175,13 @@ impl CompletionStats {
     /// Requests issued (including in-flight).
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+
+    /// Requests completed since the start of the run, measurement window or
+    /// not — the drain check (`issued == completed`) of the open-loop
+    /// scenarios.
+    pub fn completed(&self) -> u64 {
+        self.completed
     }
 
     /// Mean end-to-end latency.
@@ -561,6 +594,11 @@ struct ClientState {
     inflight: HashMap<u64, SimTime>,
     rng: DetRng,
     retry: Option<ClientRetry>,
+    /// Open-loop pacing: when set, issues arrive on a seeded Poisson
+    /// schedule regardless of completions and `outstanding` is ignored.
+    open: Option<OpenLoop>,
+    /// Routing-refresh hook, invoked when a redirect moves an address.
+    route_refresh: Option<RouteRefreshFn>,
 }
 
 /// Cluster-wide fault/recovery metric handles, resolved once at build time
@@ -569,6 +607,10 @@ struct FaultMetrics {
     retries: Counter,
     abandoned: Counter,
     redirects: Counter,
+    /// Queued retry slots retargeted in place because a redirect refreshed
+    /// the client's view of a moved address (one redirect re-aims the whole
+    /// queue instead of each request bouncing individually).
+    route_refreshed: Counter,
     corrupt_rejected: Counter,
     mig_aborted: Counter,
 }
@@ -580,6 +622,7 @@ impl FaultMetrics {
             retries: r.counter("client.retry.sent"),
             abandoned: r.counter("client.retry.abandoned"),
             redirects: r.counter("client.redirects"),
+            route_refreshed: r.counter("client.route.refreshed"),
             corrupt_rejected: r.counter("fault.rx.rejected"),
             mig_aborted: r.counter("migrate.aborted"),
         }
@@ -836,9 +879,9 @@ impl Cluster {
         let rng = self.rng.fork();
         let node = (self.n_servers + client) as u16;
         let shard = self.shard_for_mut(node);
-        let (next_token, inflight, retry) = match shard.clients[client].take() {
-            Some(old) => (old.next_token, old.inflight, old.retry),
-            None => (0, HashMap::new(), None),
+        let (next_token, inflight, retry, route_refresh) = match shard.clients[client].take() {
+            Some(old) => (old.next_token, old.inflight, old.retry, old.route_refresh),
+            None => (0, HashMap::new(), None, None),
         };
         let carried = inflight.len() as u32;
         shard.clients[client] = Some(ClientState {
@@ -848,6 +891,8 @@ impl Cluster {
             inflight,
             rng,
             retry,
+            open: None,
+            route_refresh,
         });
         for _ in 0..outstanding.saturating_sub(carried) {
             shard.events.schedule_after(
@@ -857,6 +902,61 @@ impl Cluster {
                 },
             );
         }
+    }
+
+    /// Install an *open-loop* generator on client `client`: requests arrive
+    /// as a seeded Poisson process at `cfg.rate_rps` regardless of
+    /// completions, modeling the aggregate stream of many users behind one
+    /// source node (one generator per source node, never one per user).
+    /// Arrivals stop at `cfg.until`; in-flight requests then drain through
+    /// the normal completion/retry paths, so the conservation ledger
+    /// (`issued == completed + abandoned + in-flight`) still closes at
+    /// quiesce. Replacement mid-run carries the old ledger exactly like
+    /// [`Cluster::set_client`].
+    pub fn set_client_open_loop(&mut self, client: usize, gen: ClientGenFn, cfg: OpenLoopCfg) {
+        assert!(client < self.n_clients);
+        assert!(cfg.rate_rps > 0.0, "open-loop rate must be positive");
+        let rng = self.rng.fork();
+        let node = (self.n_servers + client) as u16;
+        let shard = self.shard_for_mut(node);
+        let (next_token, inflight, retry, route_refresh) = match shard.clients[client].take() {
+            Some(old) => (old.next_token, old.inflight, old.retry, old.route_refresh),
+            None => (0, HashMap::new(), None, None),
+        };
+        shard.clients[client] = Some(ClientState {
+            gen,
+            outstanding: 0,
+            next_token,
+            inflight,
+            rng,
+            retry,
+            open: Some(OpenLoop {
+                arrivals: ipipe_sim::PoissonArrivals::new(cfg.rate_rps),
+                until: cfg.until,
+            }),
+            route_refresh,
+        });
+        // One seed arrival; every subsequent one is scheduled by its
+        // predecessor inside `handle_issue`.
+        shard.events.schedule_after(
+            SimTime::ZERO,
+            Ev::Issue {
+                client: client as u16,
+            },
+        );
+    }
+
+    /// Install a routing-refresh observer on client `client` (which must
+    /// already have a generator): whenever a [`Redirect`] reply moves an
+    /// address, the runtime retargets every queued retry slot still aimed at
+    /// the old address and then invokes `cb(old, new)` so the application's
+    /// routing table steers *future* issues the same way.
+    pub fn set_client_route_refresh(&mut self, client: usize, cb: RouteRefreshFn) {
+        let node = (self.n_servers + client) as u16;
+        let state = self.shard_for_mut(node).clients[client]
+            .as_mut()
+            .expect("set_client before set_client_route_refresh");
+        state.route_refresh = Some(cb);
     }
 
     /// Attach a seeded fault schedule to the cluster's network. Call before
@@ -1689,12 +1789,16 @@ impl ShardState {
                 return;
             };
             if slot.tries >= retry.policy.max_tries {
-                // Give up so the closed loop keeps breathing.
+                // Give up so the closed loop keeps breathing. Open-loop
+                // arrivals are purely time-driven — never re-armed by an
+                // abandonment — so a paced client skips the re-issue.
                 state.inflight.remove(&token);
                 retry.slots.remove(&token);
                 self.fault_metrics.abandoned.inc();
-                self.events
-                    .schedule_after(SimTime::ZERO, Ev::Issue { client });
+                if state.open.is_none() {
+                    self.events
+                        .schedule_after(SimTime::ZERO, Ev::Issue { client });
+                }
                 return;
             }
             slot.tries += 1;
@@ -1713,7 +1817,16 @@ impl ShardState {
         let Some(state) = self.clients[client as usize].as_mut() else {
             return;
         };
-        if state.inflight.len() >= state.outstanding as usize {
+        if let Some(open) = state.open.as_ref() {
+            // Open loop: arrivals are a seeded Poisson process, independent
+            // of completions. Each arrival schedules its successor before
+            // issuing, and the stream ends at `until` so the run can drain.
+            if now >= open.until {
+                return;
+            }
+            let gap = open.arrivals.next_gap(&mut state.rng);
+            self.events.schedule_after(gap, Ev::Issue { client });
+        } else if state.inflight.len() >= state.outstanding as usize {
             return;
         }
         let token = (client as u64) << 40 | state.next_token;
@@ -1773,14 +1886,41 @@ impl ShardState {
                             return None;
                         }
                         let retry = s.retry.as_mut()?;
-                        let slot = retry.slots.get_mut(&req.token)?;
-                        slot.dst = new_dst;
+                        let old_dst = retry.slots.get(&req.token)?.dst;
+                        // Routing refresh: one Redirect means the *address*
+                        // moved, not just this request. Retarget every queued
+                        // request still aimed at the old address in place —
+                        // each pending RetryCheck timer then transmits to the
+                        // new home — instead of letting each one bounce off
+                        // the old address individually (a redirect storm
+                        // after every rebalance). Only this request resends
+                        // immediately.
+                        let mut refreshed = 0u64;
+                        for (t, slot) in retry.slots.iter_mut() {
+                            if slot.dst == old_dst {
+                                slot.dst = new_dst;
+                                if *t != req.token {
+                                    refreshed += 1;
+                                }
+                            }
+                        }
                         let payload = retry.payload_fn.as_mut().and_then(|f| f(req.token));
-                        Some((slot.flow, slot.wire_size, payload))
+                        let slot = retry.slots.get(&req.token)?;
+                        if old_dst != new_dst {
+                            // Let the application refresh its routing table
+                            // so *future* issues steer to the new home too.
+                            if let Some(cb) = s.route_refresh.as_mut() {
+                                cb(old_dst, new_dst);
+                            }
+                        }
+                        Some((slot.flow, slot.wire_size, payload, refreshed))
                     })
                 };
-                if let Some((flow, wire_size, payload)) = resend {
+                if let Some((flow, wire_size, payload, refreshed)) = resend {
                     self.fault_metrics.redirects.inc();
+                    if refreshed > 0 {
+                        self.fault_metrics.route_refreshed.add(refreshed);
+                    }
                     self.client_send(now, node, new_dst, flow, wire_size, req.token, payload);
                     return;
                 }
@@ -1807,12 +1947,16 @@ impl ShardState {
                             );
                         }
                     }
-                    self.events.schedule_after(
-                        SimTime::ZERO,
-                        Ev::Issue {
-                            client: client as u16,
-                        },
-                    );
+                    // A completion frees a closed-loop slot; open-loop
+                    // arrivals are paced by time alone.
+                    if state.open.is_none() {
+                        self.events.schedule_after(
+                            SimTime::ZERO,
+                            Ev::Issue {
+                                client: client as u16,
+                            },
+                        );
+                    }
                 }
             }
             return;
@@ -3263,6 +3407,158 @@ mod tests {
             c.completions().issued(),
             "every request bounced once"
         );
+    }
+
+    #[test]
+    fn open_loop_generator_paces_arrivals_independent_of_completions() {
+        // Open-loop pacing: arrivals are a seeded Poisson process that
+        // ignores completions entirely (outstanding is 0 — a closed loop
+        // would never issue), stops at `until`, and drains its tail through
+        // the normal completion path so conservation closes at quiesce.
+        let run = |seed: u64| {
+            let mut c = Cluster::builder(CN2350)
+                .servers(1)
+                .clients(1)
+                .seed(seed)
+                .build();
+            let a = c.register_actor(
+                0,
+                "echo",
+                Box::new(Echo {
+                    cost: SimTime::from_us(2),
+                }),
+                Placement::Nic,
+            );
+            c.set_client_open_loop(
+                0,
+                Box::new(move |rng, _| ClientReq {
+                    dst: a,
+                    wire_size: 256,
+                    flow: rng.below(1 << 20),
+                    payload: None,
+                }),
+                OpenLoopCfg {
+                    rate_rps: 100_000.0,
+                    until: SimTime::from_ms(10),
+                },
+            );
+            c.run_for(SimTime::from_ms(12));
+            c.audit().assert_clean();
+            (c.completions().issued(), c.completions().count())
+        };
+        let (issued, done) = run(11);
+        // ~1000 expected arrivals in 10ms at 100k rps; allow wide Poisson
+        // noise but reject a closed-loop-shaped count.
+        assert!((800..1200).contains(&issued), "issued={issued}");
+        // Arrivals stopped at `until`, so the whole stream drained.
+        assert_eq!(issued, done);
+        // Same seed, same stream; a different seed draws different gaps.
+        assert_eq!(run(11), (issued, done));
+        assert_ne!(run(12).0, issued);
+    }
+
+    /// The departed address answers its first request with a `Redirect`
+    /// toward the new home and swallows everything else — a leader whose
+    /// range just moved.
+    struct MovedOut {
+        to: Address,
+        redirected: bool,
+    }
+    impl ActorLogic for MovedOut {
+        fn exec(&mut self, ctx: &mut ActorCtx<'_>, req: Request) {
+            ctx.charge(SimTime::from_us(1));
+            if !self.redirected {
+                self.redirected = true;
+                let to = self.to;
+                ctx.reply(req, 64, Some(Box::new(Redirect(to))));
+            }
+        }
+    }
+
+    #[test]
+    fn redirect_refreshes_every_queued_request_for_the_moved_address() {
+        // Regression: a Redirect used to steer only the one request it
+        // answered. Every other queued request aimed at the departed
+        // address kept retrying it until its budget ran out — a retry storm
+        // after each rebalance. One Redirect must retarget every queued
+        // retry slot still aimed at the old address and let the
+        // application's routing table refresh for future issues.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut c = Cluster::builder(CN2350)
+            .servers(2)
+            .clients(1)
+            .seed(33)
+            .build();
+        let new_home = c.register_actor(
+            1,
+            "echo",
+            Box::new(Echo {
+                cost: SimTime::from_us(2),
+            }),
+            Placement::Nic,
+        );
+        let old_home = c.register_actor(
+            0,
+            "moved-out",
+            Box::new(MovedOut {
+                to: new_home,
+                redirected: false,
+            }),
+            Placement::Nic,
+        );
+        let route = Rc::new(RefCell::new(old_home));
+        let gen_route = route.clone();
+        c.set_client(
+            0,
+            Box::new(move |rng, _| ClientReq {
+                dst: *gen_route.borrow(),
+                wire_size: 256,
+                flow: rng.below(1 << 20),
+                payload: None,
+            }),
+            8,
+        );
+        // Tight budget: without the refresh, the seven swallowed requests
+        // burn all six tries against the old address and are abandoned.
+        c.set_client_retry(
+            0,
+            RetryPolicy {
+                timeout: SimTime::from_us(100),
+                cap: SimTime::from_ms(1),
+                max_tries: 6,
+            },
+            None,
+        );
+        let cb_route = route.clone();
+        c.set_client_route_refresh(
+            0,
+            Box::new(move |old, new| {
+                let mut r = cb_route.borrow_mut();
+                if *r == old {
+                    *r = new;
+                }
+            }),
+        );
+        c.run_for(SimTime::from_ms(20));
+        c.audit().assert_clean();
+        let r = c.obs().registry();
+        assert_eq!(
+            r.counter("client.retry.abandoned").get(),
+            0,
+            "no request may die retrying the departed address"
+        );
+        assert_eq!(
+            r.counter("client.redirects").get(),
+            1,
+            "only the first request bounces"
+        );
+        assert_eq!(
+            r.counter("client.route.refreshed").get(),
+            7,
+            "the other seven queued slots are retargeted in place"
+        );
+        assert!(c.completions().count() > 1_000);
     }
 
     #[test]

@@ -93,6 +93,35 @@ impl AuditReport {
         }
     }
 
+    /// Ledger comparison `lhs ≤ rhs`: the dominant audit shape (an applied /
+    /// delivered / popped count may never exceed its issued / injected /
+    /// pushed source). Formats both sides with their names on failure.
+    pub fn check_le(
+        &mut self,
+        invariant: &'static str,
+        node: u16,
+        (lhs_name, lhs): (&str, u64),
+        (rhs_name, rhs): (&str, u64),
+    ) {
+        self.check(invariant, node, lhs <= rhs, || {
+            format!("{lhs_name} {lhs} exceeds {rhs_name} {rhs}")
+        });
+    }
+
+    /// Ledger comparison `lhs ≥ rhs` (coverage checks: what was applied must
+    /// reach at least what was acknowledged).
+    pub fn check_ge(
+        &mut self,
+        invariant: &'static str,
+        node: u16,
+        (lhs_name, lhs): (&str, u64),
+        (rhs_name, rhs): (&str, u64),
+    ) {
+        self.check(invariant, node, lhs >= rhs, || {
+            format!("{lhs_name} {lhs} falls short of {rhs_name} {rhs}")
+        });
+    }
+
     /// Record an unconditional violation (for checks whose failure is
     /// detected structurally rather than by a boolean condition).
     pub fn violation(&mut self, invariant: &'static str, node: u16, detail: String) {
@@ -190,6 +219,29 @@ mod tests {
         assert_eq!(v.at, SimTime::from_ms(3));
         let s = v.to_string();
         assert!(s.contains("ring.depth") && s.contains("node 2"), "{s}");
+    }
+
+    #[test]
+    fn ledger_comparisons_format_both_sides() {
+        let mut r = AuditReport::new(SimTime::ZERO);
+        r.check_le("a", 0, ("applies", 5), ("issued", 5));
+        r.check_ge("b", 1, ("applies", 5), ("done", 4));
+        assert!(r.is_clean());
+        assert_eq!(r.checks(), 2);
+        r.check_le("rkv.exactly.once", 2, ("applies", 7), ("issued", 6));
+        r.check_ge("rkv.apply.coverage", 3, ("applies", 3), ("done", 4));
+        let vs = r.violations();
+        assert_eq!(vs.len(), 2);
+        assert!(
+            vs[0].detail.contains("applies 7 exceeds issued 6"),
+            "{}",
+            vs[0]
+        );
+        assert!(
+            vs[1].detail.contains("applies 3 falls short of done 4"),
+            "{}",
+            vs[1]
+        );
     }
 
     #[test]

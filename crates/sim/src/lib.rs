@@ -31,6 +31,6 @@ pub mod time;
 pub use audit::{AuditReport, Violation};
 pub use event::{AnyEventQueue, EpochStats, EventQueue, HeapEventQueue, MergePool, QueueKind};
 pub use obs::{Obs, ObsConfig, TraceLevel};
-pub use rng::DetRng;
+pub use rng::{DetRng, PoissonArrivals};
 pub use stats::{Ewma, Histogram, TailEstimator, Welford};
 pub use time::SimTime;

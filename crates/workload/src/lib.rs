@@ -9,8 +9,11 @@
 //! * [`service`] — the synthetic service-time traces of §5.4 (exponential
 //!   low-dispersion, bimodal-2 high-dispersion);
 //! * [`ycsb`] — YCSB A–F mixes for exploring the KV store beyond the
-//!   paper's single 95/5 point.
+//!   paper's single 95/5 point;
+//! * [`agg`] — token-pure aggregated streams modeling millions of users
+//!   behind one open-loop source node (the planetary-scale scenarios).
 
+pub mod agg;
 pub mod kv;
 pub mod rta;
 pub mod service;

@@ -16,9 +16,9 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Hard DES perf-regression gate: wheel throughput must stay within 30% of
-# the committed baseline (BENCH_des.json).
-echo "==> desbench perf gate (baseline BENCH_des.json)"
+# Hard perf-regression gates: desbench wheel throughput vs BENCH_des.json
+# and the planetary scale scenario's events/s vs BENCH_scale.json.
+echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json)"
 ./scripts/perf_gate.sh
 
 # Sharded-DES determinism: two same-seed 8-shard pod runs must write
@@ -28,5 +28,24 @@ cargo run --release -q -p ipipe-bench --bin pardesbench -- --export /tmp/pardes_
 cargo run --release -q -p ipipe-bench --bin pardesbench -- --export /tmp/pardes_b.jsonl --shards 8
 diff /tmp/pardes_a.jsonl /tmp/pardes_b.jsonl
 echo "pardesbench exports are byte-identical"
+
+# Multi-group scale smoke (mirrors the CI scale-smoke job): the reduced
+# rkv-scale scenario must run audit-clean, two same-seed 4-shard runs must
+# export byte-identically, and the serial run must match the sharded one.
+echo "==> rkv-scale smoke (16 groups, 1e5 users; determinism + shard invariance)"
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario rkv-scale --groups 16 --users 100000 --seed 11 \
+    --shards 4 --out /tmp/scale_a > /tmp/scale_summary_a.txt
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario rkv-scale --groups 16 --users 100000 --seed 11 \
+    --shards 4 --out /tmp/scale_b > /tmp/scale_summary_b.txt
+diff -u /tmp/scale_summary_a.txt /tmp/scale_summary_b.txt
+diff -r /tmp/scale_a /tmp/scale_b
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario rkv-scale --groups 16 --users 100000 --seed 11 \
+    --shards 1 --out /tmp/scale_serial > /tmp/scale_summary_serial.txt
+diff -u /tmp/scale_summary_serial.txt /tmp/scale_summary_a.txt
+diff -r /tmp/scale_serial /tmp/scale_a
+echo "rkv-scale exports are byte-identical (same seed twice, 1 vs 4 shards)"
 
 echo "==> all checks passed"

@@ -1,29 +1,43 @@
 #!/usr/bin/env bash
-# DES perf-regression gate: the timing-wheel microbenchmark's throughput
-# must stay within 30% of the committed baseline (BENCH_des.json).
+# Perf-regression gates: measured throughput must stay within 30% of the
+# committed baselines.
 #
-# The baseline is machine-dependent; regenerate it on the reference machine
-# with `cargo run --release -p ipipe-bench --bin desbench > BENCH_des.json`
-# whenever the hardware or the workload definition changes.
+#   * desbench   — timing-wheel microbenchmark events/s vs BENCH_des.json
+#   * scalebench — planetary rkv-scale scenario events/s vs BENCH_scale.json
+#
+# The baselines are machine-dependent; regenerate them on the reference
+# machine whenever the hardware or a workload definition changes:
+#   cargo run --release -p ipipe-bench --bin desbench   > BENCH_des.json
+#   cargo run --release -p ipipe-bench --bin scalebench > BENCH_scale.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(cargo run --release -q -p ipipe-bench --bin desbench)
-echo "$out"
-
-extract_wheel_eps() {
-    # events_per_sec inside the "wheel" object of a one-line desbench JSON.
-    grep -o '"wheel":{[^}]*}' "$1" | grep -o '"events_per_sec":[0-9.]*' | cut -d: -f2
+# events_per_sec inside the named JSON object of a one-line bench output.
+extract_eps() { # <object-name> <json-text>
+    echo "$2" | grep -o "\"$1\":{[^}]*}" | grep -o '"events_per_sec":[0-9.]*' | cut -d: -f2
 }
 
-base=$(extract_wheel_eps BENCH_des.json)
-cur=$(echo "$out" | grep -o '"wheel":{[^}]*}' | grep -o '"events_per_sec":[0-9.]*' | cut -d: -f2)
-if [ -z "$base" ] || [ -z "$cur" ]; then
-    echo "FAIL: could not extract wheel events_per_sec (base='$base' cur='$cur')"
-    exit 1
-fi
-if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c < 0.7 * b) }'; then
-    echo "FAIL: wheel throughput ${cur} events/s regressed >30% below baseline ${base} events/s"
-    exit 1
-fi
-echo "perf gate: wheel ${cur} events/s vs baseline ${base} events/s — within 30%"
+# gate <label> <object-name> <baseline-file> <current-output>
+gate() {
+    local label=$1 object=$2 basefile=$3 out=$4
+    local base cur
+    base=$(extract_eps "$object" "$(cat "$basefile")")
+    cur=$(extract_eps "$object" "$out")
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+        echo "FAIL: could not extract $object events_per_sec (base='$base' cur='$cur')"
+        exit 1
+    fi
+    if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c < 0.7 * b) }'; then
+        echo "FAIL: $label throughput ${cur} events/s regressed >30% below baseline ${base} events/s"
+        exit 1
+    fi
+    echo "perf gate: $label ${cur} events/s vs baseline ${base} events/s — within 30%"
+}
+
+out=$(cargo run --release -q -p ipipe-bench --bin desbench)
+echo "$out"
+gate "wheel" "wheel" BENCH_des.json "$out"
+
+out=$(cargo run --release -q -p ipipe-bench --bin scalebench)
+echo "$out"
+gate "scale" "scale" BENCH_scale.json "$out"

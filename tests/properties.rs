@@ -701,3 +701,142 @@ proptest! {
         prop_assert!(p.completed > 0);
     }
 }
+
+// Multi-group placement properties: cheap table-level checks get the full
+// case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The routing table is a pure function of `(seed, buckets, groups)` —
+    /// two builds agree bucket for bucket — its bucket→group assignment is
+    /// exactly balanced (±1), and under Zipf key popularity at any skew in
+    /// [0.9, 1.3] every group still sees traffic while no group absorbs
+    /// more than the hottest key's share plus its fair slice.
+    #[test]
+    fn placement_is_deterministic_and_balanced(
+        seed in any::<u64>(),
+        groups in 4usize..17,
+        buckets_per_group in 16usize..65,
+        skew_pct in 90u32..131,
+    ) {
+        use ipipe_repro::apps::rkv::placement::RoutingTable;
+        use ipipe_repro::ipipe::actor::Address;
+        use ipipe_repro::workload::agg::AggKvStream;
+
+        let buckets = groups * buckets_per_group;
+        let leaders: Vec<Address> = (0..groups)
+            .map(|g| Address { node: g as u16, actor: g as u32 })
+            .collect();
+        let a = RoutingTable::build(seed, buckets, leaders.clone());
+        let b = RoutingTable::build(seed, buckets, leaders.clone());
+        for key in (0..512u64).map(ipipe_repro::workload::kv::encode_key) {
+            prop_assert_eq!(a.group_of(&key), b.group_of(&key), "same seed diverged");
+        }
+        prop_assert_eq!(a.version, b.version);
+        // Bucket assignment is exactly balanced by construction.
+        let loads = a.loads();
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "bucket loads unbalanced: {:?}", loads);
+        // Traffic balance under Zipf popularity: count routed ops per group.
+        let skew = skew_pct as f64 / 100.0;
+        let stream = AggKvStream::new(seed ^ 0x217, 1 << 30, 100_000, skew, 1.0, 8);
+        let mut per_group = vec![0u64; groups];
+        for token in 0..20_000u64 {
+            per_group[a.group_of(stream.op_for(token).key()) as usize] += 1;
+        }
+        let total: u64 = per_group.iter().sum();
+        let min = *per_group.iter().min().unwrap();
+        let max = *per_group.iter().max().unwrap();
+        prop_assert!(min > 0, "a group saw no traffic: {:?}", per_group);
+        // Even at skew 1.3 the hottest key carries < ~30% of draws, so no
+        // group may exceed the hot key plus ~twice its fair share of the rest.
+        let bound = (total as f64 * (0.30 + 2.0 / groups as f64)).ceil() as u64;
+        prop_assert!(
+            max <= bound,
+            "group load {} exceeds bound {} (groups {}, skew {:.2}): {:?}",
+            max, bound, groups, skew, per_group
+        );
+    }
+}
+
+// Multi-group cluster properties: whole-cluster runs, small case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A forced mid-run shard move (the rebalancer's primitive: four-phase
+    /// migration of a group's leader-side actors off the NIC) leaves both
+    /// the cluster-wide conservation audit and the per-group exactly-once
+    /// reconciliation clean, on the source and destination groups alike.
+    #[test]
+    fn shard_move_keeps_exactly_once_audit_clean(
+        seed in any::<u64>(),
+        groups in 2usize..6,
+        hot in 0usize..6,
+        outstanding in 4u32..17,
+    ) {
+        use ipipe_repro::apps::rkv::actors::RkvMsg;
+        use ipipe_repro::apps::rkv::multi::{
+            audit_multi_rkv_exactly_once, deploy_multi_rkv, MultiRkvCfg,
+        };
+        use ipipe_repro::ipipe::rt::{ClientReq, Cluster, RuntimeMode};
+        use ipipe_repro::sim::audit::AuditReport;
+        use ipipe_repro::workload::agg::AggKvStream;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let hot = hot % groups;
+        let mut c = Cluster::builder(CN2350)
+            .servers(6)
+            .clients(1)
+            .mode(RuntimeMode::IPipe)
+            .seed(seed)
+            .build();
+        let dep = deploy_multi_rkv(&mut c, &MultiRkvCfg {
+            groups,
+            replicas: 3,
+            server_nodes: 6,
+            buckets: 256,
+            memtable_flush: 8 << 20,
+            heartbeat: None,
+            seed,
+        });
+        let stream = AggKvStream::new(seed ^ 0x5ca1e, 1 << 16, 50_000, 1.0, 0.0, 24);
+        let table = dep.table.clone();
+        let ledger = Rc::new(RefCell::new(vec![0u64; groups]));
+        let gen_ledger = ledger.clone();
+        let mk_gen = move || {
+            let table = table.clone();
+            let gen_ledger = gen_ledger.clone();
+            Box::new(move |rng: &mut DetRng, token: u64| {
+                let op = stream.op_for(token);
+                let g = table.group_of(op.key());
+                gen_ledger.borrow_mut()[g as usize] += 1;
+                ClientReq {
+                    dst: table.leader_of(g),
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }) as ipipe_repro::ipipe::rt::ClientGenFn
+        };
+        c.set_client(0, mk_gen(), outstanding);
+        c.run_for(SimTime::from_ms(3));
+        // The move under test: the hot group's leader-side actors leave the
+        // NIC mid-traffic.
+        let moved = c.force_migrate(dep.groups[hot].memtable[0]);
+        prop_assert!(moved, "migration refused");
+        c.force_migrate(dep.groups[hot].consensus[0]);
+        c.run_for(SimTime::from_ms(3));
+        // Stop issuing and drain the in-flight tail.
+        c.set_client(0, mk_gen(), 0);
+        c.run_for(SimTime::from_ms(5));
+        let stats = c.completions();
+        prop_assert_eq!(stats.issued(), stats.completed(), "tail did not drain");
+        let r = c.audit();
+        prop_assert!(r.is_clean(), "conservation audit across move:\n{}", r.render());
+        let writes = ledger.borrow().clone();
+        let mut r = AuditReport::new(c.now());
+        audit_multi_rkv_exactly_once(c.obs().registry(), &dep, &writes, true, &mut r);
+        prop_assert!(r.is_clean(), "exactly-once across move:\n{}", r.render());
+    }
+}
