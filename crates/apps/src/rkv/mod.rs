@@ -15,6 +15,7 @@ pub mod lsm;
 pub mod multi;
 pub mod paxos;
 pub mod placement;
+pub mod storm;
 
 pub use actors::{
     audit_rkv_exactly_once, CompactionActor, ConsensusActor, MemtableActor, SstReadActor,
@@ -24,3 +25,4 @@ pub use lsm::{Levels, SsTable};
 pub use multi::{audit_multi_rkv_exactly_once, deploy_multi_rkv, MultiRkv, RebalanceCfg};
 pub use paxos::{PaxosMsg, PaxosNode, Role};
 pub use placement::RoutingTable;
+pub use storm::{CompactionStorm, StormCfg};

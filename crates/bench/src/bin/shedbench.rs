@@ -1,0 +1,108 @@
+//! The committed overload figure: the rkv-overload scenario (multi-group
+//! RKV under a 10x open-loop spike plus a compaction storm, survived by
+//! NIC-ingress admission control) run end to end, timed, and byte-diffed
+//! across shard counts.
+//!
+//! For the serial reference the run reports measured wall-clock time and
+//! DES events/s plus the scenario's own headline figures — sheds (source /
+//! ingress split), pre-spike vs in-spike goodput, and p50/p99 against the
+//! declared SLO. Each sharded re-run must reproduce the serial canonical
+//! export byte for byte (the bench doubles as the overload determinism
+//! check; a mismatch is a hard failure).
+//!
+//! Prints a single line of JSON to stdout. Run with
+//! `cargo run --release -p ipipe-bench --bin shedbench`; commit the output
+//! as `BENCH_overload.json` to refresh the perf-gate baseline
+//! (`scripts/perf_gate.sh` fails a run whose serial events/s drops more
+//! than 30% below it).
+//!
+//! `shedbench --smoke` runs the 16-group / 10^5-user CI size instead; the
+//! JSON shape is identical.
+
+use std::time::Instant;
+
+use ipipe_bench::overload::{run_rkv_overload, OverloadSpec, OverloadStats};
+
+/// Master seed shared by every variant.
+const SEED: u64 = 88;
+
+struct RunResult {
+    wall_ms: f64,
+    stats: OverloadStats,
+    export: String,
+}
+
+fn run(smoke: bool, shards: usize) -> RunResult {
+    let spec = if smoke {
+        OverloadSpec::smoke(SEED, shards)
+    } else {
+        OverloadSpec::full(SEED, shards)
+    };
+    let start = Instant::now();
+    let (stats, c) = run_rkv_overload(&spec);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    RunResult {
+        wall_ms,
+        stats,
+        export: c.export_canonical_jsonl(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| match a.as_str() {
+        "--smoke" => true,
+        other => panic!("unknown argument {other:?} (want --smoke)"),
+    });
+    // Warmup: touch every code path once so allocator and page-cache state
+    // don't bias the serial reference.
+    run(smoke, 1);
+    let serial = run(smoke, 1);
+    let serial_eps = serial.stats.events as f64 / (serial.wall_ms / 1e3);
+    let mut cols = Vec::new();
+    for shards in [2usize, 4] {
+        let r = run(smoke, shards);
+        assert_eq!(
+            r.export, serial.export,
+            "{shards}-shard canonical export diverged from serial"
+        );
+        cols.push(format!(
+            "{{\"shards\":{},\"wall_ms\":{:.2},\"byte_identical\":true}}",
+            shards, r.wall_ms,
+        ));
+    }
+    let s = &serial.stats;
+    assert!(
+        s.slo_met(),
+        "p99 {}us blew the {}us SLO",
+        s.p99_us,
+        s.slo_us
+    );
+    println!(
+        concat!(
+            "{{\"bench\":\"shedbench\",\"smoke\":{},\"groups\":{},\"users\":{},",
+            "\"issued\":{},\"done\":{},\"shed\":{},\"ingress_shed\":{},\"abandoned\":{},",
+            "\"pre_goodput_rps\":{:.0},\"spike_goodput_rps\":{:.0},",
+            "\"p50_us\":{:.1},\"p99_us\":{:.1},\"slo_us\":{:.1},\"slo_met\":{},",
+            "\"overload\":{{\"wall_ms\":{:.2},\"events\":{},\"events_per_sec\":{:.0}}},",
+            "\"sharded\":[{}]}}"
+        ),
+        smoke,
+        s.groups,
+        s.users,
+        s.issued,
+        s.done,
+        s.shed,
+        s.ingress_shed,
+        s.abandoned,
+        s.pre_goodput_rps,
+        s.spike_goodput_rps,
+        s.p50_us,
+        s.p99_us,
+        s.slo_us,
+        s.slo_met(),
+        serial.wall_ms,
+        s.events,
+        serial_eps,
+        cols.join(","),
+    );
+}

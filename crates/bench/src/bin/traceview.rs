@@ -1,7 +1,7 @@
 //! Run a traced scenario and summarize its observability output.
 //!
 //! ```text
-//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|rkv-scale|fig16] \
+//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|rkv-scale|rkv-overload|fig16] \
 //!     [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]
 //! ```
 //!
@@ -11,7 +11,7 @@
 //! determinism job runs this binary twice and diffs the directories.
 //!
 //! `--shards N` partitions the cluster scenarios (`rkv`, `rkv-fault`,
-//! `rkv-scale`) across N event shards. Cluster scenarios summarize and
+//! `rkv-scale`, `rkv-overload`) across N event shards. Cluster scenarios summarize and
 //! export through the cluster's canonical merged view ((ts, node)-ordered
 //! trace), whatever the shard count. Metrics are byte-identical to the
 //! serial run always; trace records are too unless the ring overflows
@@ -31,6 +31,7 @@ use ipipe::sched::Discipline;
 use ipipe_apps::rkv::actors::{deploy_rkv, RkvMsg};
 use ipipe_baseline::fig16::run_fig16_obs;
 use ipipe_bench::fault::run_rkv_fault_traced;
+use ipipe_bench::overload::{run_rkv_overload, OverloadSpec};
 use ipipe_bench::render_table;
 use ipipe_bench::scale::{run_rkv_scale, ScaleSpec};
 use ipipe_nicsim::CN2350;
@@ -92,7 +93,7 @@ fn parse_opts() -> Opts {
             "--out" => opts.out = Some(args.next().expect("--out needs a directory")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traceview [--scenario rkv|rkv-fault|rkv-scale|fig16] [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]"
+                    "usage: traceview [--scenario rkv|rkv-fault|rkv-scale|rkv-overload|fig16] [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -188,6 +189,31 @@ fn main() {
             );
             Some(c)
         }
+        // The overload scenario: the multi-group keyspace under a 10x
+        // open-loop spike plus a compaction storm, survived by NIC-ingress
+        // admission control. Audited for shed conservation at quiesce;
+        // metrics-only like rkv-scale so sharded exports stay byte-identical.
+        "rkv-overload" => {
+            let spec = OverloadSpec::custom(opts.seed, opts.shards, opts.groups, opts.users);
+            let (stats, c) = run_rkv_overload(&spec);
+            println!(
+                "rkv-overload: {} groups, {} users spiking 10x: {} committed of {} issued, \
+                 {} shed ({} at ingress), goodput {:.0} -> {:.0} req/s through the spike, \
+                 p99 {:.1}us against a {:.0}us SLO ({})",
+                stats.groups,
+                stats.users,
+                stats.done,
+                stats.issued,
+                stats.shed,
+                stats.ingress_shed,
+                stats.pre_goodput_rps,
+                stats.spike_goodput_rps,
+                stats.p99_us,
+                stats.slo_us,
+                if stats.slo_met() { "met" } else { "BLOWN" }
+            );
+            Some(c)
+        }
         "fig16" => {
             assert!(
                 opts.shards == 1,
@@ -196,7 +222,9 @@ fn main() {
             run_fig16_cell(opts.seed, &obs);
             None
         }
-        other => panic!("unknown scenario {other:?} (want rkv, rkv-fault, rkv-scale or fig16)"),
+        other => panic!(
+            "unknown scenario {other:?} (want rkv, rkv-fault, rkv-scale, rkv-overload or fig16)"
+        ),
     };
     // Cluster scenarios always summarize and export through the cluster's
     // canonical merged view ((ts, node)-ordered trace): under `--shards N`

@@ -19,6 +19,7 @@
 //! mismatch instead of a subtly wrong figure.
 
 use crate::fault::{run_rkv_fault_sharded, run_rkv_fault_with};
+use crate::overload::run_rkv_overload_sharded;
 use crate::scale::run_rkv_scale_sharded;
 use crate::sharded::run_fig16_grid;
 use ipipe_baseline::fig16::run_fig16_obs;
@@ -211,6 +212,38 @@ pub fn diff_sharded_rkv_scale(seed: u64) -> DiffOutcome {
     }
 }
 
+/// The sharding axis over the overload scenario at the CI smoke size (16
+/// Paxos groups under a 10x open-loop spike and a per-node compaction
+/// storm, with NIC-ingress admission shedding): every shard count in
+/// {1, 2, 4, 8} must reproduce the serial run's canonical export and
+/// shed ledger byte-for-byte. Admission buckets are ingress-local state
+/// touched only by the owning shard's Deliver events, so sharding must be
+/// invisible here too. Single-threaded for the same `Rc`-sharing reason as
+/// [`diff_sharded_rkv_scale`].
+pub fn diff_sharded_rkv_overload(seed: u64) -> DiffOutcome {
+    let variants = [
+        ("1-shard", 1),
+        ("2-shard", 2),
+        ("4-shard", 4),
+        ("8-shard", 8),
+    ];
+    DiffOutcome {
+        variants: variants
+            .iter()
+            .map(|&(label, shards)| {
+                let (stats, export) = run_rkv_overload_sharded(seed, shards, true);
+                (
+                    label.to_string(),
+                    format!(
+                        "issued {} done {} shed {} ingress {}\n{export}",
+                        stats.issued, stats.done, stats.shed, stats.ingress_shed
+                    ),
+                )
+            })
+            .collect(),
+    }
+}
+
 /// The same sharding axis over the fig16-style whole-cluster grid (16
 /// servers + 4 clients, racked, bimodal service times, mid-run audit):
 /// every shard count must reproduce the serial run's canonical export and
@@ -300,6 +333,29 @@ mod tests {
             out.first_divergence().unwrap_or_default()
         );
         assert!(out.variants[0].1.lines().count() > 20);
+    }
+
+    /// Sharding invariance under overload: a 10x spike, compaction storms
+    /// and thousands of admission sheds — the canonical export may not
+    /// move a byte under 1/2/4/8 shards.
+    #[test]
+    fn rkv_overload_is_shard_invariant() {
+        let out = diff_sharded_rkv_overload(31);
+        assert_eq!(out.variants.len(), 4);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+        assert!(out.variants[0].1.lines().count() > 20);
+        // The diff is only meaningful if the scenario actually shed work.
+        assert!(
+            out.variants[0].1.starts_with("issued")
+                && !out.variants[0].1.contains("shed 0 ingress"),
+            "overload run shed nothing: {}",
+            out.variants[0].1.lines().next().unwrap_or_default()
+        );
     }
 
     /// Sharding invariance at fan-out: the 20-node racked grid with bimodal

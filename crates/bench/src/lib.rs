@@ -10,6 +10,7 @@ pub mod characterization;
 pub mod differential;
 pub mod evaluation;
 pub mod fault;
+pub mod overload;
 pub mod scale;
 pub mod sharded;
 

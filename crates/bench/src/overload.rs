@@ -1,0 +1,396 @@
+//! The SLO-aware overload scenario behind `traceview --scenario
+//! rkv-overload`, the `shedbench` figure and the CI `overload-smoke` lane:
+//! the multi-group RKV keyspace under a 10x open-loop traffic spike while
+//! an LSM-compaction storm competes for the wimpy cores, survived by the
+//! NIC-ingress admission controller.
+//!
+//! What the run demonstrates end to end:
+//!
+//! * every server node runs the per-class token-bucket admission layer
+//!   ([`AdmissionCfg`]) in front of FCFS/DRR dispatch — best-effort
+//!   (priority 0) and premium (priority 1) clients alternate, and pressure
+//!   shedding protects the premium class when the NIC backlog grows,
+//! * a [`CompactionStorm`] actor on every server node charges LSM-merge
+//!   work on the NIC cores and erupts 10x inside the spike window,
+//! * mid-run the open-loop generators jump to `spike_factor` times their
+//!   base rate ([`Cluster::set_client_open_loop_rate`] at a `run_for`
+//!   barrier) and fall back after the window closes,
+//! * shed replies push back: closed-loop retries park for the backoff
+//!   hint, open-loop generators shed at the source, and the cluster audit
+//!   reconciles `issued == completed + abandoned + shed + in-flight`
+//!   (the shed-conservation invariant) plus the per-ingress
+//!   `admit.conservation` ledgers,
+//! * the committed p99 stays within the declared SLO through the spike and
+//!   the unshed goodput stays flat rather than collapsing,
+//! * and the whole run is byte-identical at any `--shards` count: bucket
+//!   state is ingress-local, spikes and storms are clock-driven, and every
+//!   knob is turned at a shard barrier.
+//!
+//! [`AdmissionCfg`]: ipipe::admission::AdmissionCfg
+//! [`CompactionStorm`]: ipipe_apps::rkv::storm::CompactionStorm
+//! [`Cluster::set_client_open_loop_rate`]: ipipe::rt::Cluster::set_client_open_loop_rate
+
+use ipipe::admission::{AdmissionCfg, ClassCfg};
+use ipipe::rt::{ClientReq, Cluster, OpenLoopCfg, Placement, RetryPolicy, RuntimeMode};
+use ipipe_apps::rkv::actors::RkvMsg;
+use ipipe_apps::rkv::multi::{audit_multi_rkv_exactly_once, deploy_multi_rkv, MultiRkvCfg};
+use ipipe_apps::rkv::storm::{CompactionStorm, StormCfg};
+use ipipe_nicsim::CN2350;
+use ipipe_sim::audit::AuditReport;
+use ipipe_sim::SimTime;
+use ipipe_workload::agg::{aggregate_rate, AggKvStream};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::scale::ScaleSpec;
+
+/// Full parameterization of one overload run: the base keyspace/workload
+/// shape plus the spike window, admission envelope and declared SLO.
+#[derive(Debug, Clone)]
+pub struct OverloadSpec {
+    /// Keyspace, workload and drain shape (the spike multiplies
+    /// `base.per_user_rps`; `base.run` is the full arrival window).
+    pub base: ScaleSpec,
+    /// Spike window start (must land on a multiple of the step cadence).
+    pub spike_at: SimTime,
+    /// Spike window end (exclusive).
+    pub spike_until: SimTime,
+    /// Open-loop rate multiplier inside the window.
+    pub spike_factor: f64,
+    /// Sustained per-class admit rate at each ingress node.
+    pub admit_rps: u64,
+    /// Token-bucket burst depth per class.
+    pub admit_burst: u32,
+    /// NIC backlog depth past which best-effort traffic is pressure-shed.
+    pub pressure_depth: usize,
+    /// Cap on the backoff hint carried by shed replies.
+    pub max_backoff: SimTime,
+    /// Declared end-to-end p99 SLO the run must hold through the spike.
+    pub slo_p99: SimTime,
+}
+
+impl OverloadSpec {
+    /// Scale a spec from the two headline knobs, mirroring
+    /// [`ScaleSpec::custom`]: a third of the arrival window each for
+    /// pre-spike, spike, and recovery.
+    pub fn custom(seed: u64, shards: usize, groups: usize, users: u64) -> OverloadSpec {
+        let mut base = ScaleSpec::custom(seed, shards, groups, users);
+        base.run = SimTime::from_ms(6);
+        base.drain = SimTime::from_ms(4);
+        OverloadSpec {
+            base,
+            spike_at: SimTime::from_ms(2),
+            spike_until: SimTime::from_ms(4),
+            spike_factor: 10.0,
+            admit_rps: 60_000,
+            admit_burst: 64,
+            pressure_depth: 64,
+            max_backoff: SimTime::from_us(500),
+            slo_p99: SimTime::from_ms(1),
+        }
+    }
+
+    /// The committed figure size: 32 groups over 16 server nodes, 2^19
+    /// modeled users spiking 10x.
+    pub fn full(seed: u64, shards: usize) -> OverloadSpec {
+        OverloadSpec::custom(seed, shards, 32, 1 << 19)
+    }
+
+    /// The CI `overload-smoke` size: 16 groups, 10^5 modeled users.
+    pub fn smoke(seed: u64, shards: usize) -> OverloadSpec {
+        OverloadSpec::custom(seed, shards, 16, 100_000)
+    }
+
+    /// The admission configuration installed on every server node:
+    /// clients alternate best-effort (class 0, priority 0) and premium
+    /// (class 1, priority 1); pressure shedding protects premium.
+    pub fn admission(&self) -> AdmissionCfg {
+        let class = |priority: u8| ClassCfg {
+            rate_rps: self.admit_rps,
+            burst: self.admit_burst,
+            priority,
+        };
+        AdmissionCfg {
+            classes: vec![class(0), class(1)],
+            pressure_depth: self.pressure_depth,
+            protect_priority: 1,
+            max_backoff: self.max_backoff,
+        }
+    }
+}
+
+/// Headline numbers from one overload run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadStats {
+    /// Paxos groups deployed.
+    pub groups: usize,
+    /// Modeled users behind the generators.
+    pub users: u64,
+    /// Requests issued by the open-loop generators (source sheds included).
+    pub issued: u64,
+    /// Requests completed.
+    pub done: u64,
+    /// Requests shed (at the source or by a shed reply).
+    pub shed: u64,
+    /// Shed verdicts at the server ingresses (`admit.shed` total).
+    pub ingress_shed: u64,
+    /// Requests abandoned after exhausting their retry budget.
+    pub abandoned: u64,
+    /// Committed goodput before the spike (requests/second).
+    pub pre_goodput_rps: f64,
+    /// Committed goodput through the spike window (requests/second).
+    pub spike_goodput_rps: f64,
+    /// Median end-to-end latency (µs), whole run.
+    pub p50_us: f64,
+    /// Tail end-to-end latency (µs), whole run — spike included.
+    pub p99_us: f64,
+    /// The declared SLO the tail is held against (µs).
+    pub slo_us: f64,
+    /// Events processed across all shards (the DES work metric).
+    pub events: u64,
+}
+
+impl OverloadStats {
+    /// Did the tail hold the declared SLO through the spike?
+    pub fn slo_met(&self) -> bool {
+        self.p99_us <= self.slo_us
+    }
+}
+
+/// Run the overload scenario described by `spec`; hand back the cluster so
+/// callers can pull canonical merged exports.
+pub fn run_rkv_overload(spec: &OverloadSpec) -> (OverloadStats, Cluster) {
+    let mut c = Cluster::builder(CN2350)
+        .servers(spec.base.servers)
+        .clients(spec.base.clients)
+        .mode(RuntimeMode::IPipe)
+        .seed(spec.base.seed)
+        .shards(spec.base.shards)
+        .build();
+    let stats = drive_rkv_overload(&mut c, spec);
+    (stats, c)
+}
+
+/// [`run_rkv_overload`] returning the canonical merged export — the byte
+/// string that must be identical whatever the shard count.
+pub fn run_rkv_overload_sharded(seed: u64, shards: usize, smoke: bool) -> (OverloadStats, String) {
+    let spec = if smoke {
+        OverloadSpec::smoke(seed, shards)
+    } else {
+        OverloadSpec::full(seed, shards)
+    };
+    let (stats, c) = run_rkv_overload(&spec);
+    (stats, c.export_canonical_jsonl())
+}
+
+/// Everything after cluster construction: deploy the groups, install
+/// admission and the compaction storms, run pre-spike / spike / recovery
+/// windows, drain, and audit — shed conservation included.
+pub fn drive_rkv_overload(c: &mut Cluster, spec: &OverloadSpec) -> OverloadStats {
+    let dep = deploy_multi_rkv(
+        c,
+        &MultiRkvCfg {
+            groups: spec.base.groups,
+            replicas: spec.base.replicas,
+            server_nodes: spec.base.servers,
+            buckets: spec.base.buckets,
+            memtable_flush: 8 << 20,
+            heartbeat: None,
+            seed: spec.base.seed,
+        },
+    );
+    c.set_admission(spec.admission());
+    // One compaction storm per server node, NIC-placed so its merge work
+    // competes with request serving; it erupts 10x inside the spike window.
+    for node in 0..spec.base.servers {
+        c.register_actor(
+            node,
+            "storm",
+            Box::new(CompactionStorm::new(StormCfg::erupting(
+                spec.spike_at,
+                spec.spike_until,
+            ))),
+            Placement::Nic,
+        );
+    }
+    let stream = AggKvStream::new(
+        spec.base.seed ^ 0xA66,
+        spec.base.users_per_client,
+        spec.base.keys,
+        spec.base.skew,
+        spec.base.read_ratio,
+        spec.base.value_len,
+    );
+    let base_rate = aggregate_rate(spec.base.users_per_client, spec.base.per_user_rps);
+    let mut ledgers: Vec<Rc<RefCell<Vec<u64>>>> = Vec::new();
+    for cl in 0..spec.base.clients {
+        let table = Rc::new(RefCell::new(dep.table.clone()));
+        let ledger = Rc::new(RefCell::new(vec![0u64; spec.base.groups]));
+        ledgers.push(ledger.clone());
+        let gen_table = table.clone();
+        c.set_client_open_loop(
+            cl,
+            Box::new(move |rng, token| {
+                let op = stream.op_for(token);
+                let t = gen_table.borrow();
+                let g = t.group_of(op.key());
+                if !op.is_read() {
+                    ledger.borrow_mut()[g as usize] += 1;
+                }
+                ClientReq {
+                    dst: t.leader_of(g),
+                    wire_size: 42 + op.wire_size(),
+                    flow: rng.below(1 << 20),
+                    payload: Some(Box::new(RkvMsg::Client(op))),
+                }
+            }),
+            OpenLoopCfg {
+                rate_rps: base_rate,
+                until: spec.base.run,
+            },
+        );
+        c.set_client_retry(
+            cl,
+            RetryPolicy {
+                timeout: SimTime::from_us(500),
+                cap: SimTime::from_ms(2),
+                max_tries: 64,
+            },
+            Some(Box::new(move |token| {
+                Some(Box::new(RkvMsg::Client(stream.op_for(token))))
+            })),
+        );
+        c.set_client_route_refresh(
+            cl,
+            Box::new(move |old, new| {
+                table.borrow_mut().refresh(old, new);
+            }),
+        );
+        // Alternate best-effort / premium so pressure shedding has both a
+        // victim and a protected class on every ingress.
+        c.set_client_class(cl, (cl % 2) as u8);
+    }
+    // Pre-spike window at the base rate.
+    c.run_for(spec.spike_at);
+    let pre = c.completions().completed();
+    let pre_goodput = pre as f64 / spec.spike_at.as_secs_f64();
+    // The spike: every generator jumps to spike_factor x its base rate at
+    // this barrier; the storms erupt on their own clocks.
+    for cl in 0..spec.base.clients {
+        c.set_client_open_loop_rate(cl, base_rate * spec.spike_factor);
+    }
+    let spike_len = spec.spike_until.saturating_sub(spec.spike_at);
+    c.run_for(spike_len);
+    let spike_done = c.completions().completed() - pre;
+    let spike_goodput = spike_done as f64 / spike_len.as_secs_f64();
+    // Recovery: back to the base rate for the rest of the arrival window.
+    for cl in 0..spec.base.clients {
+        c.set_client_open_loop_rate(cl, base_rate);
+    }
+    c.run_for(spec.base.run.saturating_sub(spec.spike_until));
+    // Drain the in-flight tail: the ledger balances when every issued
+    // request is completed, shed, or abandoned. The loop reads
+    // shard-invariant counts at `run_for` barriers only.
+    c.run_for(spec.base.drain);
+    for _ in 0..16 {
+        let s = c.completions();
+        let abandoned = c.counter_total("client.retry.abandoned");
+        if s.issued() == s.completed() + s.shed() + abandoned {
+            break;
+        }
+        c.run_for(spec.base.drain);
+    }
+    // Quiesce-time checks: the cluster audit (shed conservation and the
+    // per-ingress admit ledgers included), a fully drained tail, and
+    // per-group at-most-once. Full apply *coverage* is deliberately not
+    // asserted: remote-shed writes bump the client ledgers but never apply,
+    // so `applies <= issued writes` is the exact post-shedding invariant.
+    let mut report = c.audit();
+    let stats = c.completions();
+    let abandoned = c.counter_total("client.retry.abandoned");
+    let drained = stats.issued() == stats.completed() + stats.shed() + abandoned;
+    report.check(
+        "overload.drained",
+        ipipe_sim::audit::CLUSTER_WIDE,
+        drained,
+        || {
+            format!(
+                "issued {} != completed {} + shed {} + abandoned {}: the tail must drain",
+                stats.issued(),
+                stats.completed(),
+                stats.shed(),
+                abandoned
+            )
+        },
+    );
+    let mut writes = vec![0u64; spec.base.groups];
+    for l in &ledgers {
+        for (g, n) in l.borrow().iter().enumerate() {
+            writes[g] += n;
+        }
+    }
+    let mut rkv_report = AuditReport::new(c.now());
+    audit_multi_rkv_exactly_once(c.obs().registry(), &dep, &writes, false, &mut rkv_report);
+    report.merge(rkv_report);
+    report.assert_clean();
+    let ingress_shed: u64 = (0..spec.base.servers as u16)
+        .map(|n| c.counter_on_total("admit.shed", n))
+        .sum();
+    OverloadStats {
+        groups: spec.base.groups,
+        users: spec.base.users(),
+        issued: stats.issued(),
+        done: stats.count(),
+        shed: stats.shed(),
+        ingress_shed,
+        abandoned,
+        pre_goodput_rps: pre_goodput,
+        spike_goodput_rps: spike_goodput,
+        p50_us: stats.p50().as_us_f64(),
+        p99_us: stats.p99().as_us_f64(),
+        slo_us: spec.slo_p99.as_us_f64(),
+        events: c.shard_events().iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_sheds_and_holds_the_slo() {
+        let (stats, _c) = run_rkv_overload(&OverloadSpec::smoke(11, 1));
+        assert_eq!(stats.groups, 16);
+        assert_eq!(
+            stats.issued,
+            stats.done + stats.shed + stats.abandoned,
+            "drain must balance the shed-conservation ledger"
+        );
+        assert!(stats.shed > 0, "a 10x spike must shed");
+        assert!(stats.ingress_shed > 0, "ingress buckets must refuse work");
+        assert!(stats.done > 500, "done={}", stats.done);
+        assert!(
+            stats.slo_met(),
+            "p99 {}us blew the {}us SLO",
+            stats.p99_us,
+            stats.slo_us
+        );
+        // Unshed goodput must hold flat through the spike, not collapse.
+        assert!(
+            stats.spike_goodput_rps >= 0.7 * stats.pre_goodput_rps,
+            "goodput collapsed: pre {:.0} rps vs spike {:.0} rps",
+            stats.pre_goodput_rps,
+            stats.spike_goodput_rps
+        );
+    }
+
+    #[test]
+    fn smoke_exports_are_byte_identical_across_shard_counts() {
+        let (s1, e1) = run_rkv_overload_sharded(31, 1, true);
+        let (s2, e2) = run_rkv_overload_sharded(31, 2, true);
+        assert_eq!(s1.issued, s2.issued);
+        assert_eq!(s1.shed, s2.shed);
+        assert_eq!(s1.ingress_shed, s2.ingress_shed);
+        assert_eq!(e1, e2, "sharded export diverged from serial");
+    }
+}

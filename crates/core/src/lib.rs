@@ -47,6 +47,7 @@
 //! ```
 
 pub mod actor;
+pub mod admission;
 pub mod api;
 pub mod bookkeep;
 pub mod dmo;
@@ -62,6 +63,7 @@ pub mod skiplist;
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::actor::{ActorCtx, ActorId, ActorLogic, Address, Payload, Request};
+    pub use crate::admission::{AdmissionCfg, ClassCfg};
     pub use crate::dmo::{DmoError, ObjectId};
     pub use crate::rt::{Cluster, ClusterBuilder, Placement};
     pub use crate::sched::SchedConfig;

@@ -414,6 +414,16 @@ impl NicScheduler {
         self.fcfs_queue.len()
     }
 
+    /// Total NIC-side backlog: the shared FCFS queue plus every DRR
+    /// mailbox. The shared queue alone understates pressure — dispatcher
+    /// and DRR cores drain it into mailboxes eagerly, so under overload the
+    /// queue looks empty while mailboxes balloon. Admission control keys
+    /// its pressure shedding on this figure.
+    #[inline]
+    pub fn backlog(&self) -> usize {
+        self.fcfs_queue.len() + self.drr_backlog
+    }
+
     /// A request arrived at the NIC ingress.
     pub fn on_arrival(&mut self, now: SimTime, req: Request) {
         if let Some(a) = self.actors.get_mut(&req.actor) {

@@ -16,9 +16,10 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Hard perf-regression gates: desbench wheel throughput vs BENCH_des.json
-# and the planetary scale scenario's events/s vs BENCH_scale.json.
-echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json)"
+# Hard perf-regression gates: desbench wheel throughput vs BENCH_des.json,
+# the planetary scale scenario's events/s vs BENCH_scale.json, and the
+# overload spike scenario's events/s vs BENCH_overload.json.
+echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json, BENCH_overload.json)"
 ./scripts/perf_gate.sh
 
 # Sharded-DES determinism: two same-seed 8-shard pod runs must write
@@ -47,5 +48,29 @@ cargo run --release -q -p ipipe-bench --bin traceview -- \
 diff -u /tmp/scale_summary_serial.txt /tmp/scale_summary_a.txt
 diff -r /tmp/scale_serial /tmp/scale_a
 echo "rkv-scale exports are byte-identical (same seed twice, 1 vs 4 shards)"
+
+# Overload smoke (mirrors the CI overload-smoke job): the reduced
+# rkv-overload scenario (10x spike + compaction storm + ingress admission)
+# must run audit-clean with its SLO held, two same-seed 4-shard runs must
+# export byte-identically, and the serial run must match the sharded one.
+echo "==> rkv-overload smoke (16 groups, 1e5 users; determinism + shard invariance)"
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario rkv-overload --groups 16 --users 100000 --seed 11 \
+    --shards 4 --out /tmp/overload_a > /tmp/overload_summary_a.txt
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario rkv-overload --groups 16 --users 100000 --seed 11 \
+    --shards 4 --out /tmp/overload_b > /tmp/overload_summary_b.txt
+diff -u /tmp/overload_summary_a.txt /tmp/overload_summary_b.txt
+diff -r /tmp/overload_a /tmp/overload_b
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario rkv-overload --groups 16 --users 100000 --seed 11 \
+    --shards 1 --out /tmp/overload_serial > /tmp/overload_summary_serial.txt
+diff -u /tmp/overload_summary_serial.txt /tmp/overload_summary_a.txt
+diff -r /tmp/overload_serial /tmp/overload_a
+echo "rkv-overload exports are byte-identical (same seed twice, 1 vs 4 shards)"
+
+# Shed-conservation property sweep (mirrors the CI overload-smoke job).
+echo "==> shed-conservation proptests"
+cargo test -q --release --test properties overload_shed
 
 echo "==> all checks passed"

@@ -4,11 +4,13 @@
 #
 #   * desbench   — timing-wheel microbenchmark events/s vs BENCH_des.json
 #   * scalebench — planetary rkv-scale scenario events/s vs BENCH_scale.json
+#   * shedbench  — rkv-overload spike scenario events/s vs BENCH_overload.json
 #
 # The baselines are machine-dependent; regenerate them on the reference
 # machine whenever the hardware or a workload definition changes:
 #   cargo run --release -p ipipe-bench --bin desbench   > BENCH_des.json
 #   cargo run --release -p ipipe-bench --bin scalebench > BENCH_scale.json
+#   cargo run --release -p ipipe-bench --bin shedbench  > BENCH_overload.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,3 +43,7 @@ gate "wheel" "wheel" BENCH_des.json "$out"
 out=$(cargo run --release -q -p ipipe-bench --bin scalebench)
 echo "$out"
 gate "scale" "scale" BENCH_scale.json "$out"
+
+out=$(cargo run --release -q -p ipipe-bench --bin shedbench)
+echo "$out"
+gate "overload" "overload" BENCH_overload.json "$out"

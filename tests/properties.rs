@@ -840,3 +840,152 @@ proptest! {
         prop_assert!(r.is_clean(), "exactly-once across move:\n{}", r.render());
     }
 }
+
+/// Build and drive one echo cluster with NIC-ingress admission under a
+/// mid-run open-loop spike; returns the audit outcome, the shed ledger
+/// `(issued, completed, shed, abandoned)`, and the canonical export.
+#[allow(clippy::too_many_arguments)]
+fn overload_echo_run(
+    seed: u64,
+    servers: usize,
+    clients: usize,
+    shards: usize,
+    classes: usize,
+    admit_rps: u64,
+    burst: u32,
+    spike_factor: f64,
+) -> (bool, String, (u64, u64, u64, u64), String) {
+    use ipipe_repro::ipipe::actor::Address;
+    use ipipe_repro::ipipe::admission::{AdmissionCfg, ClassCfg};
+    use ipipe_repro::ipipe::rt::{ClientReq, Cluster, OpenLoopCfg, Placement, RetryPolicy};
+
+    let mut c = Cluster::builder(CN2350)
+        .servers(servers)
+        .clients(clients)
+        .seed(seed)
+        .shards(shards)
+        .build();
+    let actors: Vec<Address> = (0..servers)
+        .map(|n| {
+            c.register_actor(
+                n,
+                "echo",
+                Box::new(PropEcho {
+                    cost: SimTime::from_us(2),
+                }),
+                Placement::Nic,
+            )
+        })
+        .collect();
+    c.set_admission(AdmissionCfg {
+        classes: (0..classes)
+            .map(|p| ClassCfg {
+                rate_rps: admit_rps,
+                burst,
+                priority: p as u8,
+            })
+            .collect(),
+        pressure_depth: 64,
+        protect_priority: classes.saturating_sub(1) as u8,
+        max_backoff: SimTime::from_us(500),
+    });
+    let base_rate = admit_rps as f64;
+    for cl in 0..clients {
+        let targets = actors.clone();
+        c.set_client_open_loop(
+            cl,
+            Box::new(move |rng, _| ClientReq {
+                dst: targets[rng.index(targets.len())],
+                wire_size: 128,
+                flow: rng.below(1 << 20),
+                payload: None,
+            }),
+            OpenLoopCfg {
+                rate_rps: base_rate,
+                until: SimTime::from_ms(3),
+            },
+        );
+        c.set_client_retry(
+            cl,
+            RetryPolicy {
+                timeout: SimTime::from_us(300),
+                cap: SimTime::from_ms(2),
+                max_tries: 16,
+            },
+            None,
+        );
+        c.set_client_class(cl, (cl % classes) as u8);
+    }
+    // Pre-spike window, spike window at `spike_factor` x, recovery window —
+    // every rate change lands on a run_for barrier.
+    c.run_for(SimTime::from_ms(1));
+    for cl in 0..clients {
+        c.set_client_open_loop_rate(cl, base_rate * spike_factor);
+    }
+    c.run_for(SimTime::from_ms(1));
+    for cl in 0..clients {
+        c.set_client_open_loop_rate(cl, base_rate);
+    }
+    c.run_for(SimTime::from_ms(1));
+    // Drain until the shed-conservation ledger balances.
+    for _ in 0..16 {
+        let s = c.completions();
+        let abandoned = c.counter_total("client.retry.abandoned");
+        if s.issued() == s.completed() + s.shed() + abandoned {
+            break;
+        }
+        c.run_for(SimTime::from_ms(1));
+    }
+    let report = c.audit();
+    let s = c.completions();
+    let abandoned = c.counter_total("client.retry.abandoned");
+    (
+        report.is_clean(),
+        report.render(),
+        (s.issued(), s.completed(), s.shed(), abandoned),
+        c.export_canonical_jsonl(),
+    )
+}
+
+// Overload/admission properties: whole-cluster runs, small case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Shed conservation under randomized overload: for random seeds, client
+    /// classes, admission envelopes, spike magnitudes and shard counts,
+    /// every issued request ends up exactly one of completed / shed /
+    /// abandoned once drained, the cluster audit (ingress admit ledgers and
+    /// client shed counters included) is clean, and the sharded run
+    /// byte-matches the serial reference.
+    #[test]
+    fn overload_shed_conservation_holds_and_shards_byte_match(
+        seed in any::<u64>(),
+        servers in 2usize..5,
+        clients in 2usize..5,
+        shards in 2usize..7,
+        classes in 1usize..4,
+        admit_krps in 10u64..60,
+        burst in 1u32..32,
+        spike_factor in 4u64..13,
+    ) {
+        let admit_rps = admit_krps * 1_000;
+        let (clean1, report1, ledger1, export1) = overload_echo_run(
+            seed, servers, clients, 1, classes, admit_rps, burst, spike_factor as f64,
+        );
+        prop_assert!(clean1, "serial audit dirty:\n{}", report1);
+        let (issued, completed, shed, abandoned) = ledger1;
+        prop_assert_eq!(
+            issued,
+            completed + shed + abandoned,
+            "shed conservation violated: issued {} != completed {} + shed {} + abandoned {}",
+            issued, completed, shed, abandoned
+        );
+        prop_assert!(issued > 0, "no traffic generated");
+        let (clean_n, report_n, ledger_n, export_n) = overload_echo_run(
+            seed, servers, clients, shards, classes, admit_rps, burst, spike_factor as f64,
+        );
+        prop_assert!(clean_n, "{}-shard audit dirty:\n{}", shards, report_n);
+        prop_assert_eq!(ledger_n, ledger1, "shed ledger diverged under {} shards", shards);
+        prop_assert_eq!(export_n, export1, "canonical export diverged under {} shards", shards);
+    }
+}
