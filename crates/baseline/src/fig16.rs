@@ -28,6 +28,9 @@ pub struct Fig16Point {
     pub p99: SimTime,
     /// Requests measured.
     pub completed: u64,
+    /// Simulated time of the last event before quiesce (arrivals + drain)
+    /// — lets callers turn `completed` into a committed throughput.
+    pub wall: SimTime,
 }
 
 enum Ev {
@@ -47,6 +50,7 @@ struct St {
     next_token: u64,
     done: u64,
     cores: u32,
+    last_event: SimTime,
 }
 
 /// Run one (card, distribution, discipline, load) cell of Fig 16.
@@ -125,6 +129,7 @@ pub fn run_fig16_obs(
         next_token: 0,
         done: 0,
         cores: spec.cores,
+        last_event: SimTime::ZERO,
     };
     let mut q: EventQueue<Ev> = EventQueue::new();
     q.schedule_at(SimTime::ZERO, Ev::Arrive);
@@ -144,6 +149,7 @@ pub fn run_fig16_obs(
     }
 
     q.run_until(&mut st, SimTime::MAX, |q, st, now, ev| {
+        st.last_event = now;
         match ev {
             Ev::Arrive => {
                 if st.remaining > 0 {
@@ -204,6 +210,7 @@ pub fn run_fig16_obs(
         mean: st.hist.mean(),
         p99: st.hist.p99(),
         completed: st.hist.count(),
+        wall: st.last_event,
     }
 }
 

@@ -244,6 +244,34 @@ pub fn diff_sharded_rkv_overload(seed: u64) -> DiffOutcome {
     }
 }
 
+/// The design-space exploration grid as a differential subject: run a tiny
+/// DSE grid (4 designs x 3 workloads) serially, under the machine's worker
+/// count, and with the cluster-scenario cells sharded 4 ways, and byte-diff
+/// the full canonical exports — cell lines, Pareto/recommendation tables
+/// and the merged per-cell-prefixed metric snapshot. Cell identity is pure
+/// in the spec (`DesignPoint::id`) and per-cell seeds derive from it, so
+/// neither sweep scheduling nor shard count may move a byte (DESIGN.md §15).
+pub fn diff_dse_grid(seed: u64) -> DiffOutcome {
+    use crate::dse::{run_dse, DseSpec};
+    let run = |label: &str, workers: usize, shards: usize| {
+        let mut spec = DseSpec::tiny(seed);
+        spec.workers = workers;
+        spec.shards = shards;
+        (label.to_string(), run_dse(&spec).export)
+    };
+    DiffOutcome {
+        variants: vec![
+            run("serial-1shard", 1, 1),
+            run(
+                &format!("parallel×{}", default_workers().max(2)),
+                default_workers().max(2),
+                1,
+            ),
+            run("parallel-4shard", default_workers().max(2), 4),
+        ],
+    }
+}
+
 /// The same sharding axis over the fig16-style whole-cluster grid (16
 /// servers + 4 clients, racked, bimodal service times, mid-run audit):
 /// every shard count must reproduce the serial run's canonical export and
@@ -369,6 +397,25 @@ mod tests {
             out.render(),
             out.first_divergence().unwrap_or_default()
         );
+    }
+
+    /// The DSE acceptance gate: the tiny exploration grid — cluster cells,
+    /// scheduler cells, Pareto reduction and the merged prefixed snapshot —
+    /// exports byte-identical results whether the sweep runs serially, on
+    /// all workers, or with the cluster cells sharded 4 ways.
+    #[test]
+    fn dse_grid_is_schedule_and_shard_invariant() {
+        let out = diff_dse_grid(9);
+        assert_eq!(out.variants.len(), 3);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+        // Real content: cell lines plus a non-trivial metric snapshot.
+        assert!(out.variants[0].1.lines().count() > 20);
+        assert!(out.variants[0].1.contains("== dse grid =="));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 pub mod apps_harness;
 pub mod characterization;
 pub mod differential;
+pub mod dse;
 pub mod evaluation;
 pub mod fault;
 pub mod overload;
+pub mod pareto;
 pub mod scale;
 pub mod sharded;
 

@@ -1,0 +1,108 @@
+//! A standalone Pareto-frontier engine for the design-space exploration
+//! reducer (DESIGN.md §15).
+//!
+//! Deliberately decoupled from everything NIC-shaped: points are plain
+//! objective vectors, each objective carries a [`Sense`], and the frontier
+//! is computed by exhaustive O(n²) dominance testing — the DSE grids are at
+//! most a few hundred points, so clarity beats asymptotics. The property
+//! suite in `crates/bench/tests/pareto_props.rs` pins soundness (no frontier
+//! point is dominated), completeness (every excluded point is dominated by a
+//! frontier point), and permutation invariance (the frontier is a function
+//! of the point *set*, not the sweep order).
+
+/// Optimization direction of one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Larger is better (throughput, host cycles saved).
+    Maximize,
+    /// Smaller is better (NIC core budget, p99 latency).
+    Minimize,
+}
+
+impl Sense {
+    /// Is `a` strictly better than `b` under this sense?
+    fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Sense::Maximize => a > b,
+            Sense::Minimize => a < b,
+        }
+    }
+}
+
+/// True when `a` Pareto-dominates `b`: at least as good on every objective
+/// and strictly better on at least one. Identical vectors never dominate
+/// each other, so duplicates coexist on a frontier.
+///
+/// Panics if the vectors and the sense list disagree on dimension.
+pub fn dominates(a: &[f64], b: &[f64], senses: &[Sense]) -> bool {
+    assert_eq!(a.len(), senses.len(), "objective/sense dimension mismatch");
+    assert_eq!(b.len(), senses.len(), "objective/sense dimension mismatch");
+    let mut strictly_better = false;
+    for ((&xa, &xb), &s) in a.iter().zip(b).zip(senses) {
+        if s.better(xb, xa) {
+            return false; // worse somewhere -> no dominance
+        }
+        if s.better(xa, xb) {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the Pareto frontier of `points`, in ascending index order.
+///
+/// A point is on the frontier iff no other point dominates it. Ties and
+/// exact duplicates all stay on the frontier (none dominates the other), so
+/// the result is permutation-invariant as a multiset of vectors.
+pub fn frontier_indices(points: &[Vec<f64>], senses: &[Sense]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|p| dominates(p, &points[i], senses)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Sense::{Maximize, Minimize};
+
+    #[test]
+    fn dominance_needs_strict_improvement_somewhere() {
+        let s = [Maximize, Minimize];
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0], &s));
+        assert!(dominates(&[1.0, 0.5], &[1.0, 1.0], &s));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0], &s)); // identical
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0], &s)); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[2.0, 0.5], &s)); // strictly worse
+    }
+
+    #[test]
+    fn frontier_of_a_known_set() {
+        // Maximize x, minimize y: the classic staircase.
+        let pts = vec![
+            vec![1.0, 1.0], // dominated by [2,1]
+            vec![2.0, 1.0], // frontier
+            vec![3.0, 4.0], // frontier (best x)
+            vec![2.0, 1.0], // duplicate of a frontier point -> also kept
+            vec![0.5, 0.2], // frontier (best y)
+            vec![0.4, 0.3], // dominated by [0.5,0.2]
+        ];
+        let f = frontier_indices(&pts, &[Maximize, Minimize]);
+        assert_eq!(f, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let senses = [Maximize];
+        assert!(frontier_indices(&[], &senses).is_empty());
+        assert_eq!(frontier_indices(&[vec![7.0]], &senses), vec![0]);
+        // All-identical points: everyone survives.
+        let pts = vec![vec![3.0]; 5];
+        assert_eq!(frontier_indices(&pts, &senses), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        dominates(&[1.0], &[1.0, 2.0], &[Maximize, Minimize]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property suite for the Pareto engine (ISSUE 9 satellite): dominance
+//! soundness, completeness, and permutation invariance over random objective
+//! vectors — including ties and exact duplicates, which the small value
+//! ranges below generate constantly.
+
+use ipipe_bench::pareto::{dominates, frontier_indices, Sense};
+use ipipe_sim::DetRng;
+use proptest::prelude::*;
+
+/// Decode a sense bitmask into a per-dimension direction list.
+fn senses(mask: u8, dim: usize) -> Vec<Sense> {
+    (0..dim)
+        .map(|d| {
+            if mask >> d & 1 == 1 {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            }
+        })
+        .collect()
+}
+
+/// Truncate raw integer 4-tuples to `dim` dimensions of f64 points.
+fn points(raw: &[(u8, u8, u8, u8)], dim: usize) -> Vec<Vec<f64>> {
+    raw.iter()
+        .map(|&(a, b, c, d)| {
+            [a, b, c, d][..dim]
+                .iter()
+                .map(|&v| v as f64)
+                .collect::<Vec<f64>>()
+        })
+        .collect()
+}
+
+/// Deterministic Fisher-Yates permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = DetRng::new(seed);
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Soundness: no frontier point is dominated by ANY swept point.
+    /// Completeness: every non-frontier point is dominated by some
+    /// frontier point (the frontier explains every exclusion).
+    #[test]
+    fn frontier_is_sound_and_complete(
+        raw in prop::collection::vec((0u8..5, 0u8..5, 0u8..5, 0u8..5), 1..48),
+        dim in 1usize..5,
+        mask in 0u8..16,
+    ) {
+        let pts = points(&raw, dim);
+        let sns = senses(mask, dim);
+        let frontier = frontier_indices(&pts, &sns);
+        prop_assert!(!frontier.is_empty(), "non-empty input must keep a frontier");
+
+        let on_frontier = |i: usize| frontier.contains(&i);
+        for &i in &frontier {
+            for p in &pts {
+                prop_assert!(
+                    !dominates(p, &pts[i], &sns),
+                    "frontier point {i} ({:?}) is dominated by {:?}",
+                    pts[i], p
+                );
+            }
+        }
+        for i in 0..pts.len() {
+            if on_frontier(i) {
+                continue;
+            }
+            prop_assert!(
+                frontier.iter().any(|&f| dominates(&pts[f], &pts[i], &sns)),
+                "excluded point {i} ({:?}) is dominated by no frontier point",
+                pts[i]
+            );
+        }
+    }
+
+    /// Permutation invariance: shuffling the input cells changes frontier
+    /// *indices* but not the frontier as a multiset of objective vectors.
+    #[test]
+    fn frontier_is_permutation_invariant(
+        raw in prop::collection::vec((0u8..5, 0u8..5, 0u8..5, 0u8..5), 1..48),
+        dim in 1usize..5,
+        mask in 0u8..16,
+        perm_seed in 0u64..10_000,
+    ) {
+        let pts = points(&raw, dim);
+        let sns = senses(mask, dim);
+        let perm = permutation(pts.len(), perm_seed);
+        let shuffled: Vec<Vec<f64>> = perm.iter().map(|&i| pts[i].clone()).collect();
+
+        // Compare as sorted multisets of integer-valued vectors (inputs are
+        // small integers, so exact comparison is safe).
+        let multiset = |points: &[Vec<f64>], frontier: &[usize]| -> Vec<Vec<u64>> {
+            let mut m: Vec<Vec<u64>> = frontier
+                .iter()
+                .map(|&i| points[i].iter().map(|&v| v as u64).collect())
+                .collect();
+            m.sort();
+            m
+        };
+        let a = multiset(&pts, &frontier_indices(&pts, &sns));
+        let b = multiset(&shuffled, &frontier_indices(&shuffled, &sns));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Duplicates are ties: a set made of one vector repeated keeps every
+    /// copy on the frontier, under any sense combination.
+    #[test]
+    fn duplicate_points_all_stay_on_the_frontier(
+        point in (0u8..5, 0u8..5, 0u8..5, 0u8..5),
+        copies in 1usize..12,
+        dim in 1usize..5,
+        mask in 0u8..16,
+    ) {
+        let raw = vec![point; copies];
+        let pts = points(&raw, dim);
+        let sns = senses(mask, dim);
+        let f = frontier_indices(&pts, &sns);
+        prop_assert_eq!(f, (0..copies).collect::<Vec<_>>());
+    }
+
+    /// Dominance is a strict partial order on the swept set: irreflexive
+    /// and antisymmetric (transitivity is implied by the vector ordering).
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in (0u8..5, 0u8..5, 0u8..5, 0u8..5),
+        b in (0u8..5, 0u8..5, 0u8..5, 0u8..5),
+        dim in 1usize..5,
+        mask in 0u8..16,
+    ) {
+        let pts = points(&[a, b], dim);
+        let sns = senses(mask, dim);
+        prop_assert!(!dominates(&pts[0], &pts[0], &sns));
+        prop_assert!(!(dominates(&pts[0], &pts[1], &sns) && dominates(&pts[1], &pts[0], &sns)));
+    }
+}

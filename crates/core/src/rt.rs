@@ -831,6 +831,16 @@ impl Cluster {
             .copied()
             .find(|s| s.name == spec.name)
             .expect("unknown NIC spec; use one of ipipe_nicsim's card constants");
+        Cluster::builder_for(spec)
+    }
+
+    /// Start building a cluster around an explicit `'static` spec.
+    ///
+    /// [`Cluster::builder`] resolves by name against the four Table 1 card
+    /// constants; synthesized design-space cards
+    /// ([`ipipe_nicsim::dse::DesignPoint`]) all share one name and live in
+    /// leaked allocations, so they come through here instead.
+    pub fn builder_for(spec: &'static NicSpec) -> ClusterBuilder {
         ClusterBuilder {
             spec,
             host: &HOST_XEON,

@@ -24,6 +24,7 @@ pub mod accel;
 pub mod cpu;
 pub mod crypto;
 pub mod dma;
+pub mod dse;
 pub mod host;
 pub mod mem;
 pub mod spec;

@@ -146,6 +146,11 @@ pub struct NicSpec {
     pub hw_send_base: SimTime,
     /// Per-byte component of hardware-assisted send, ns/B.
     pub hw_send_per_byte_ns: f64,
+    /// Whether the domain-specific accelerator blocks of Table 3 (crypto,
+    /// CRC, ZIP, …) are present. True for every card in the study; the
+    /// design-space exploration grid ([`crate::dse`]) toggles it to price
+    /// the engines as an axis.
+    pub has_accels: bool,
 }
 
 impl NicSpec {
@@ -233,6 +238,7 @@ pub const CN2350: NicSpec = NicSpec {
     // Fig 6: SmartNIC-send ~0.3us at 4B, ~0.55us at 1KB.
     hw_send_base: SimTime::from_ns(300),
     hw_send_per_byte_ns: 0.25,
+    has_accels: true,
 };
 
 /// Marvell LiquidIOII CN2360 (Table 1 row 2): cnMIPS 16 x 1.5 GHz, 2x25GbE.
@@ -281,6 +287,7 @@ pub const CN2360: NicSpec = NicSpec {
     },
     hw_send_base: SimTime::from_ns(260),
     hw_send_per_byte_ns: 0.22,
+    has_accels: true,
 };
 
 /// Mellanox BlueField 1M332A (Table 1 row 3): ARM A72 8 x 0.8 GHz, 2x25GbE,
@@ -335,6 +342,7 @@ pub const BLUEFIELD_1M332A: NicSpec = NicSpec {
     },
     hw_send_base: SimTime::from_ns(420),
     hw_send_per_byte_ns: 0.30,
+    has_accels: true,
 };
 
 /// Broadcom Stingray PS225 (Table 1 row 4): ARM A72 8 x 3.0 GHz, 2x25GbE,
@@ -385,6 +393,7 @@ pub const STINGRAY_PS225: NicSpec = NicSpec {
     },
     hw_send_base: SimTime::from_ns(340),
     hw_send_per_byte_ns: 0.26,
+    has_accels: true,
 };
 
 /// The four cards of the study, in Table 1 order.
@@ -539,6 +548,113 @@ mod tests {
         // Paper: 4.6x and 4.2x average speedups.
         assert!((r_dpdk - 4.6).abs() < 0.7, "dpdk ratio {r_dpdk}");
         assert!((r_rdma - 4.2).abs() < 0.7, "rdma ratio {r_rdma}");
+    }
+
+    /// Every card (and the host) must expose a physically sensible memory
+    /// hierarchy: each level at least as slow as the one above it. The DSE
+    /// grid extrapolates geometries from these rows, so a transposed Table 2
+    /// entry would silently skew every synthesized design.
+    #[test]
+    fn mem_hierarchy_is_ordered_on_every_card() {
+        let mut rows: Vec<(&str, MemLatencies)> =
+            ALL_NICS.iter().map(|spec| (spec.name, spec.mem)).collect();
+        rows.push((HOST_XEON.name, HOST_XEON.mem));
+        for (name, mem) in rows {
+            assert!(mem.l1 <= mem.l2, "{name}: l1 > l2");
+            let below_l2 = mem.l3.unwrap_or(mem.dram);
+            assert!(mem.l2 <= below_l2, "{name}: l2 > next level");
+            if let Some(l3) = mem.l3 {
+                assert!(l3 <= mem.dram, "{name}: l3 > dram");
+            }
+            assert!(mem.l2 <= mem.dram, "{name}: l2 > dram");
+        }
+    }
+
+    /// `ForwardCost::cost` must be monotone non-decreasing in packet size on
+    /// every card — the affine model only stays affine if the rounding of the
+    /// per-byte term can never make a larger frame cheaper.
+    #[test]
+    fn forward_cost_monotone_in_packet_size() {
+        for spec in ALL_NICS {
+            let mut last = SimTime::ZERO;
+            for size in 0..=1518u32 {
+                let c = spec.fwd.cost(size);
+                assert!(
+                    c >= last,
+                    "{}: cost({size}) = {c:?} < cost({}) = {last:?}",
+                    spec.name,
+                    size - 1
+                );
+                last = c;
+            }
+        }
+    }
+
+    /// Cores needed for line rate, derived here by hand from the `fwd`
+    /// constants, must match the Fig 2/3 calibration comments on each card
+    /// and the traffic model's own search. This pins the numbers the DSE
+    /// grid extrapolates from in both places.
+    #[test]
+    fn cores_for_line_rate_matches_calibration_comments() {
+        use crate::traffic::cores_for_line_rate;
+
+        // ceil(pps_needed * cost_ns), the hand-math in the fwd comments, with
+        // the traffic model's 0.1% line-rate tolerance and pps ceiling.
+        let by_hand = |spec: &NicSpec, frame: u32| -> Option<u32> {
+            let need = line_rate_pps(spec.link_gbps, frame) * 0.999;
+            if need > spec.hw_pps_limit {
+                return None;
+            }
+            let cores = (need * spec.fwd.cost(frame).as_ns() as f64 * 1e-9).ceil() as u32;
+            (cores <= spec.cores).then_some(cores.max(1))
+        };
+
+        // Fig 2 comment on CN2350: 10/6/4/3 at 256/512/1024/1500 B,
+        // 64/128 B unreachable. Fig 3 comment on Stingray: 3/2/1/1, with the
+        // hardware pps ceiling killing 64/128 B. CN2360 and BlueField carry
+        // no figure of their own; their expectations below are derived from
+        // the same hand-math (25GbE needs 11.2 Mpps at 256 B, more than 16
+        // slow cnMIPS or 8 slow A72 cores can forward).
+        let expected: [(&NicSpec, [Option<u32>; 4]); 4] = [
+            (&CN2350, [Some(10), Some(6), Some(4), Some(3)]),
+            (&CN2360, [None, Some(12), Some(8), Some(6)]),
+            (&BLUEFIELD_1M332A, [None, Some(7), Some(5), Some(4)]),
+            (&STINGRAY_PS225, [Some(3), Some(2), Some(1), Some(1)]),
+        ];
+        for (spec, want) in expected {
+            for (frame, want) in [256u32, 512, 1024, 1500].into_iter().zip(want) {
+                assert_eq!(
+                    by_hand(spec, frame),
+                    want,
+                    "{} @ {frame}B (hand math)",
+                    spec.name
+                );
+                assert_eq!(
+                    cores_for_line_rate(spec, frame),
+                    want,
+                    "{} @ {frame}B (traffic model)",
+                    spec.name
+                );
+            }
+            // Small frames never reach line rate on any card (Figs 2/3).
+            for frame in [64u32, 128] {
+                assert_eq!(
+                    cores_for_line_rate(spec, frame),
+                    None,
+                    "{} @ {frame}B should miss line rate",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_study_card_has_accelerators() {
+        // Table 3: all four cards ship crypto/CRC engines; only synthesized
+        // DSE designs may turn them off.
+        for spec in ALL_NICS {
+            assert!(spec.has_accels, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -277,6 +277,34 @@ impl Snapshot {
         }
     }
 
+    /// Re-key every metric as `<prefix>.<name>` (same node), returning a new
+    /// snapshot. Sweep-style reducers use this to tag each cell's metrics
+    /// with its own identity before folding cells together: `merge` SUMS
+    /// same-key slots, so two cells that both record `sched.runs` would
+    /// otherwise collapse into one indistinguishable number. A prefixed
+    /// merge keeps them separable — see the pinned regression test
+    /// `prefixed_cells_stay_separable_after_merge`.
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        let rekey = |name: &String| format!("{prefix}.{name}");
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|((n, node), v)| ((rekey(n), *node), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|((n, node), v)| ((rekey(n), *node), *v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|((n, node), h)| ((rekey(n), *node), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Counter value (0 when absent).
     pub fn counter(&self, name: &str, node: u16) -> u64 {
         self.counters
@@ -345,6 +373,47 @@ mod tests {
         assert_eq!(reg.counter("x").get(), 3);
         // Different node, different slot.
         assert_eq!(reg.counter_on("x", 1).get(), 0);
+    }
+
+    /// Pinned regression for per-cell tagging (ISSUE 9 satellite): two
+    /// distinct design-space cells record the same metric names; a naive
+    /// merge SUMS them into an indistinguishable blob, while prefixing each
+    /// cell with its `DesignPoint` id first keeps every cell separable.
+    #[test]
+    fn prefixed_cells_stay_separable_after_merge() {
+        let cell = |runs: u64, p99_us: u64| {
+            let reg = Registry::new();
+            reg.counter("sched.runs").add(runs);
+            reg.hist("rkv.latency").record(SimTime::from_us(p99_us));
+            reg.snapshot()
+        };
+        let a = cell(10, 7);
+        let b = cell(32, 90);
+
+        // The hazard: unprefixed merge sums same-name slots.
+        let mut blob = a.clone();
+        blob.merge(&b);
+        assert_eq!(blob.counter("sched.runs", 0), 42);
+
+        // The fix: prefix by cell identity before folding.
+        let mut merged = a.prefixed("dse.c04-f1200-onp-m115-acc.rkv");
+        merged.merge(&b.prefixed("dse.c12-f1200-onp-m115-acc.rkv"));
+        assert_eq!(
+            merged.counter("dse.c04-f1200-onp-m115-acc.rkv.sched.runs", 0),
+            10
+        );
+        assert_eq!(
+            merged.counter("dse.c12-f1200-onp-m115-acc.rkv.sched.runs", 0),
+            32
+        );
+        let h = merged
+            .hist("dse.c12-f1200-onp-m115-acc.rkv.rkv.latency", 0)
+            .unwrap();
+        assert_eq!(h.count(), 1);
+        // Merge order does not matter for the prefixed fold either.
+        let mut rev = b.prefixed("dse.c12-f1200-onp-m115-acc.rkv");
+        rev.merge(&a.prefixed("dse.c04-f1200-onp-m115-acc.rkv"));
+        assert_eq!(rev.to_jsonl(), merged.to_jsonl());
     }
 
     #[test]

@@ -17,9 +17,10 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Hard perf-regression gates: desbench wheel throughput vs BENCH_des.json,
-# the planetary scale scenario's events/s vs BENCH_scale.json, and the
-# overload spike scenario's events/s vs BENCH_overload.json.
-echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json, BENCH_overload.json)"
+# the planetary scale scenario's events/s vs BENCH_scale.json, the
+# overload spike scenario's events/s vs BENCH_overload.json, and the full
+# design-space grid's cells/s vs BENCH_dse.json.
+echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json, BENCH_overload.json, BENCH_dse.json)"
 ./scripts/perf_gate.sh
 
 # Sharded-DES determinism: two same-seed 8-shard pod runs must write
@@ -72,5 +73,21 @@ echo "rkv-overload exports are byte-identical (same seed twice, 1 vs 4 shards)"
 # Shed-conservation property sweep (mirrors the CI overload-smoke job).
 echo "==> shed-conservation proptests"
 cargo test -q --release --test properties overload_shed
+
+# DSE smoke (mirrors the CI dse-smoke job): the 16-design smoke grid's
+# canonical export must be byte-identical between a serial run and a
+# parallel run with the same seed, the Pareto engine must survive its
+# property suite, and the spec-calibration unit tests must hold.
+echo "==> dse smoke (16-design grid; serial vs parallel byte-diff)"
+cargo run --release -q -p ipipe-bench --bin dse -- \
+    --smoke --seed 17 --serial --export /tmp/dse_serial.txt > /dev/null
+cargo run --release -q -p ipipe-bench --bin dse -- \
+    --smoke --seed 17 --export /tmp/dse_parallel.txt > /dev/null
+diff /tmp/dse_serial.txt /tmp/dse_parallel.txt
+echo "dse smoke exports are byte-identical (serial vs parallel)"
+echo "==> pareto proptests + spec calibration + shard-invariance unit tests"
+cargo test -q --release -p ipipe-bench --test pareto_props
+cargo test -q --release -p ipipe-nicsim --lib
+cargo test -q --release -p ipipe-bench --lib differential::tests::dse_grid_is_schedule_and_shard_invariant
 
 echo "==> all checks passed"

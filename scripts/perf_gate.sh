@@ -5,35 +5,38 @@
 #   * desbench   — timing-wheel microbenchmark events/s vs BENCH_des.json
 #   * scalebench — planetary rkv-scale scenario events/s vs BENCH_scale.json
 #   * shedbench  — rkv-overload spike scenario events/s vs BENCH_overload.json
+#   * dse        — full design-space grid cells/s vs BENCH_dse.json
 #
 # The baselines are machine-dependent; regenerate them on the reference
 # machine whenever the hardware or a workload definition changes:
 #   cargo run --release -p ipipe-bench --bin desbench   > BENCH_des.json
 #   cargo run --release -p ipipe-bench --bin scalebench > BENCH_scale.json
 #   cargo run --release -p ipipe-bench --bin shedbench  > BENCH_overload.json
+#   cargo run --release -p ipipe-bench --bin dse        > BENCH_dse.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# events_per_sec inside the named JSON object of a one-line bench output.
-extract_eps() { # <object-name> <json-text>
-    echo "$2" | grep -o "\"$1\":{[^}]*}" | grep -o '"events_per_sec":[0-9.]*' | cut -d: -f2
+# a numeric rate field inside the named JSON object of a one-line bench
+# output.
+extract_rate() { # <object-name> <field> <json-text>
+    echo "$3" | grep -o "\"$1\":{[^}]*}" | grep -o "\"$2\":[0-9.]*" | cut -d: -f2
 }
 
-# gate <label> <object-name> <baseline-file> <current-output>
+# gate <label> <object-name> <baseline-file> <current-output> [<field>]
 gate() {
-    local label=$1 object=$2 basefile=$3 out=$4
+    local label=$1 object=$2 basefile=$3 out=$4 field=${5:-events_per_sec}
     local base cur
-    base=$(extract_eps "$object" "$(cat "$basefile")")
-    cur=$(extract_eps "$object" "$out")
+    base=$(extract_rate "$object" "$field" "$(cat "$basefile")")
+    cur=$(extract_rate "$object" "$field" "$out")
     if [ -z "$base" ] || [ -z "$cur" ]; then
-        echo "FAIL: could not extract $object events_per_sec (base='$base' cur='$cur')"
+        echo "FAIL: could not extract $object $field (base='$base' cur='$cur')"
         exit 1
     fi
     if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c < 0.7 * b) }'; then
-        echo "FAIL: $label throughput ${cur} events/s regressed >30% below baseline ${base} events/s"
+        echo "FAIL: $label throughput ${cur} ${field} regressed >30% below baseline ${base}"
         exit 1
     fi
-    echo "perf gate: $label ${cur} events/s vs baseline ${base} events/s — within 30%"
+    echo "perf gate: $label ${cur} vs baseline ${base} ${field} — within 30%"
 }
 
 out=$(cargo run --release -q -p ipipe-bench --bin desbench)
@@ -47,3 +50,7 @@ gate "scale" "scale" BENCH_scale.json "$out"
 out=$(cargo run --release -q -p ipipe-bench --bin shedbench)
 echo "$out"
 gate "overload" "overload" BENCH_overload.json "$out"
+
+out=$(cargo run --release -q -p ipipe-bench --bin dse)
+echo "$out"
+gate "dse" "dse" BENCH_dse.json "$out" cells_per_sec
