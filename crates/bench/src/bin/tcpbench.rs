@@ -1,0 +1,124 @@
+//! The committed TCP-offload figure: the `tcp-offload` scenario (stateful
+//! TCP connections over the shim nstack, RTO-driven recovery from seeded
+//! frame loss) swept over the placement axis (host cores vs NIC cores) and
+//! two loss rates, timed, and byte-diffed across shard counts.
+//!
+//! Each cell reports the tradeoff the paper argues about: host cores kept
+//! busy vs NIC cores kept busy for the same delivered stream, plus flow
+//! completion time, goodput and the retransmission bill. The serial
+//! reference cell (NIC-placed, low loss) reports measured wall-clock and
+//! DES events/s; each sharded re-run must reproduce its canonical export
+//! byte for byte (a mismatch is a hard failure).
+//!
+//! Prints a single line of JSON to stdout. Run with
+//! `cargo run --release -p ipipe-bench --bin tcpbench`; commit the output
+//! as `BENCH_tcp.json` to refresh the perf-gate baseline
+//! (`scripts/perf_gate.sh` fails a run whose serial events/s drops more
+//! than 30% below it).
+//!
+//! `tcpbench --smoke` runs the 4-connection CI size instead; the JSON
+//! shape is identical.
+
+use std::time::Instant;
+
+use ipipe::rt::Placement;
+use ipipe_bench::tcp::{run_tcp_offload, TcpOffloadSpec, TcpOffloadStats};
+
+/// Master seed shared by every cell.
+const SEED: u64 = 77;
+
+/// The two loss rates of the committed figure.
+const LOSS_RATES: [f64; 2] = [0.01, 0.05];
+
+fn spec(smoke: bool, shards: usize, loss: f64, placement: Placement) -> TcpOffloadSpec {
+    let (conns, bytes) = if smoke { (4, 192 << 10) } else { (8, 1 << 20) };
+    TcpOffloadSpec::custom(SEED, shards, conns, bytes, loss, placement)
+}
+
+struct RunResult {
+    wall_ms: f64,
+    stats: TcpOffloadStats,
+    export: String,
+}
+
+fn run(s: &TcpOffloadSpec) -> RunResult {
+    let start = Instant::now();
+    let (stats, c) = run_tcp_offload(s);
+    RunResult {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        stats,
+        export: c.export_canonical_jsonl(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| match a.as_str() {
+        "--smoke" => true,
+        other => panic!("unknown argument {other:?} (want --smoke)"),
+    });
+    // Warmup: touch every code path once so allocator and page-cache state
+    // don't bias the serial reference.
+    run(&spec(smoke, 1, LOSS_RATES[0], Placement::Nic));
+    // The placement x loss grid — the host-cores-freed vs NIC-cores-burned
+    // tradeoff under configurable loss.
+    let mut cells = Vec::new();
+    for &loss in &LOSS_RATES {
+        for placement in [Placement::Host, Placement::Nic] {
+            let r = run(&spec(smoke, 1, loss, placement));
+            let s = &r.stats;
+            assert_eq!(
+                s.delivered,
+                s.conns as u64 * s.bytes_per_conn,
+                "every cell must deliver its full streams"
+            );
+            cells.push(format!(
+                concat!(
+                    "{{\"placement\":\"{}\",\"loss\":{},\"host_cores\":{:.4},",
+                    "\"nic_cores\":{:.4},\"fct_ms\":{:.3},\"goodput_gbps\":{:.3},",
+                    "\"retx_segs\":{},\"rto_fired\":{}}}"
+                ),
+                s.placement,
+                loss,
+                s.host_cores,
+                s.nic_cores,
+                s.fct_ms,
+                s.goodput_gbps,
+                s.retx_segs,
+                s.rto_fired,
+            ));
+        }
+    }
+    // Serial reference + shard-identity checks on the primary cell.
+    let serial = run(&spec(smoke, 1, LOSS_RATES[0], Placement::Nic));
+    let serial_eps = serial.stats.events as f64 / (serial.wall_ms / 1e3);
+    let mut sharded = Vec::new();
+    for shards in [2usize, 4] {
+        let r = run(&spec(smoke, shards, LOSS_RATES[0], Placement::Nic));
+        assert_eq!(
+            r.export, serial.export,
+            "{shards}-shard canonical export diverged from serial"
+        );
+        sharded.push(format!(
+            "{{\"shards\":{},\"wall_ms\":{:.2},\"byte_identical\":true}}",
+            shards, r.wall_ms,
+        ));
+    }
+    let s = &serial.stats;
+    println!(
+        concat!(
+            "{{\"bench\":\"tcpbench\",\"smoke\":{},\"conns\":{},\"bytes_per_conn\":{},",
+            "\"delivered\":{},\"cells\":[{}],",
+            "\"tcp\":{{\"wall_ms\":{:.2},\"events\":{},\"events_per_sec\":{:.0}}},",
+            "\"sharded\":[{}]}}"
+        ),
+        smoke,
+        s.conns,
+        s.bytes_per_conn,
+        s.delivered,
+        cells.join(","),
+        serial.wall_ms,
+        s.events,
+        serial_eps,
+        sharded.join(","),
+    );
+}

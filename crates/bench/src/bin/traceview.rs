@@ -1,7 +1,7 @@
 //! Run a traced scenario and summarize its observability output.
 //!
 //! ```text
-//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|rkv-scale|rkv-overload|fig16] \
+//! cargo run --release --bin traceview -- [--scenario rkv|rkv-fault|rkv-scale|rkv-overload|tcp-offload|fig16] \
 //!     [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]
 //! ```
 //!
@@ -34,6 +34,7 @@ use ipipe_bench::fault::run_rkv_fault_traced;
 use ipipe_bench::overload::{run_rkv_overload, OverloadSpec};
 use ipipe_bench::render_table;
 use ipipe_bench::scale::{run_rkv_scale, ScaleSpec};
+use ipipe_bench::tcp::{run_tcp_offload, TcpOffloadSpec};
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::{Obs, TraceKind, TraceLevel};
 use ipipe_sim::SimTime;
@@ -93,7 +94,7 @@ fn parse_opts() -> Opts {
             "--out" => opts.out = Some(args.next().expect("--out needs a directory")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: traceview [--scenario rkv|rkv-fault|rkv-scale|rkv-overload|fig16] [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]"
+                    "usage: traceview [--scenario rkv|rkv-fault|rkv-scale|rkv-overload|tcp-offload|fig16] [--seed N] [--shards N] [--groups N] [--users N] [--verbose] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -214,6 +215,33 @@ fn main() {
             );
             Some(c)
         }
+        // The TCP-offload scenario: stateful connections over the shim
+        // nstack recovering from seeded loss via RTO retransmission, with
+        // endpoints on NIC cores. Audited for byte conservation
+        // (sent == acked + in-flight + lost-pending-RTO) and exactly-once
+        // in-order delivery at quiesce; metrics-only like rkv-scale so
+        // sharded exports stay byte-identical.
+        "tcp-offload" => {
+            let spec = TcpOffloadSpec::smoke(opts.seed, opts.shards);
+            let (stats, c) = run_tcp_offload(&spec);
+            println!(
+                "tcp-offload: {} conns x {} bytes at {:.0}% loss ({} placement): \
+                 {} bytes delivered in {:.2}ms ({:.2} Gbit/s), {} segments retransmitted \
+                 over {} RTOs, {:.3} host cores vs {:.3} NIC cores",
+                stats.conns,
+                stats.bytes_per_conn,
+                stats.loss * 100.0,
+                stats.placement,
+                stats.delivered,
+                stats.fct_ms,
+                stats.goodput_gbps,
+                stats.retx_segs,
+                stats.rto_fired,
+                stats.host_cores,
+                stats.nic_cores
+            );
+            Some(c)
+        }
         "fig16" => {
             assert!(
                 opts.shards == 1,
@@ -223,7 +251,8 @@ fn main() {
             None
         }
         other => panic!(
-            "unknown scenario {other:?} (want rkv, rkv-fault, rkv-scale, rkv-overload or fig16)"
+            "unknown scenario {other:?} (want rkv, rkv-fault, rkv-scale, rkv-overload, \
+             tcp-offload or fig16)"
         ),
     };
     // Cluster scenarios always summarize and export through the cluster's

@@ -22,6 +22,7 @@ use crate::fault::{run_rkv_fault_sharded, run_rkv_fault_with};
 use crate::overload::run_rkv_overload_sharded;
 use crate::scale::run_rkv_scale_sharded;
 use crate::sharded::run_fig16_grid;
+use crate::tcp::run_tcp_offload_sharded;
 use ipipe_baseline::fig16::run_fig16_obs;
 use ipipe_nicsim::CN2350;
 use ipipe_sim::obs::Obs;
@@ -244,6 +245,32 @@ pub fn diff_sharded_rkv_overload(seed: u64) -> DiffOutcome {
     }
 }
 
+/// The sharding axis over the TCP-offload scenario: four lossy connections
+/// (2% seeded frame loss, RTO-driven retransmission, out-of-order
+/// reassembly) at the CI smoke size must reproduce the serial run's
+/// canonical export and headline delivery/retransmit counts byte-for-byte
+/// under every shard count in {1, 2, 4}. Single-threaded like the other
+/// `Rc`-holding scenarios: the deployment keeps cloned metric handles for
+/// the quiesce audit.
+pub fn diff_sharded_tcp(seed: u64) -> DiffOutcome {
+    let variants = [("1-shard", 1), ("2-shard", 2), ("4-shard", 4)];
+    DiffOutcome {
+        variants: variants
+            .iter()
+            .map(|&(label, shards)| {
+                let (stats, export) = run_tcp_offload_sharded(seed, shards, true);
+                (
+                    label.to_string(),
+                    format!(
+                        "delivered {} retx {} rto {}\n{export}",
+                        stats.delivered, stats.retx_segs, stats.rto_fired
+                    ),
+                )
+            })
+            .collect(),
+    }
+}
+
 /// The design-space exploration grid as a differential subject: run a tiny
 /// DSE grid (4 designs x 3 workloads) serially, under the machine's worker
 /// count, and with the cluster-scenario cells sharded 4 ways, and byte-diff
@@ -382,6 +409,28 @@ mod tests {
             out.variants[0].1.starts_with("issued")
                 && !out.variants[0].1.contains("shed 0 ingress"),
             "overload run shed nothing: {}",
+            out.variants[0].1.lines().next().unwrap_or_default()
+        );
+    }
+
+    /// Sharding invariance for the TCP-offload scenario: lossy stateful
+    /// transport with retransmission timers may not move a byte of the
+    /// canonical export under 1/2/4 shards.
+    #[test]
+    fn tcp_offload_is_shard_invariant() {
+        let out = diff_sharded_tcp(43);
+        assert_eq!(out.variants.len(), 3);
+        assert!(
+            out.identical(),
+            "{}\nfirst divergence: {}",
+            out.render(),
+            out.first_divergence().unwrap_or_default()
+        );
+        // The diff is only meaningful if loss actually bit: the headline
+        // line must show nonzero retransmissions.
+        assert!(
+            out.variants[0].1.starts_with("delivered") && !out.variants[0].1.contains("retx 0 "),
+            "tcp run retransmitted nothing: {}",
             out.variants[0].1.lines().next().unwrap_or_default()
         );
     }

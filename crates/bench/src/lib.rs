@@ -15,6 +15,7 @@ pub mod overload;
 pub mod pareto;
 pub mod scale;
 pub mod sharded;
+pub mod tcp;
 
 /// Render a text table: header row + aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -113,8 +113,12 @@ pub fn msg_read(ring: &mut RingBuffer) -> Result<Option<(Vec<u8>, bool)>, RingEr
     ring.pop()
 }
 
-/// `nstack_hdr_cap`: build the L2/L3/L4 headers for a WQE.
-pub fn nstack_hdr_cap(h: crate::nstack::WqeHeader) -> [u8; crate::nstack::HEADER_BYTES] {
+/// `nstack_hdr_cap`: build the L2/L3/L4 headers for a WQE. Fails with a
+/// typed [`crate::nstack::CodecError`] when the payload exceeds what the
+/// 16-bit IPv4 `total_len` field can declare.
+pub fn nstack_hdr_cap(
+    h: crate::nstack::WqeHeader,
+) -> Result<[u8; crate::nstack::HEADER_BYTES], crate::nstack::CodecError> {
     crate::nstack::build_headers(h)
 }
 
@@ -196,7 +200,12 @@ mod tests {
             actor: 3,
             payload_len: 64,
         };
-        let frame = nstack_hdr_cap(h);
+        let frame = nstack_hdr_cap(h).unwrap();
         assert_eq!(nstack_get_wqe(&frame), Some(h));
+        assert!(nstack_hdr_cap(crate::nstack::WqeHeader {
+            payload_len: u16::MAX,
+            ..h
+        })
+        .is_err());
     }
 }

@@ -59,6 +59,7 @@ pub mod ring;
 pub mod rt;
 pub mod sched;
 pub mod skiplist;
+pub mod tcp;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {

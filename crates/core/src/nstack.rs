@@ -4,8 +4,9 @@
 //! accelerators: L2/L3 encapsulation/decapsulation, checksum handling, and
 //! scatter-gather assembly of header + payload when they are not colocated
 //! (exploiting implication I6). The header codec here produces real bytes —
-//! Ethernet II + IPv4 + UDP — so tests can round-trip them; the timing comes
-//! from the card's hardware-assisted send/recv model (Fig 6).
+//! Ethernet II + IPv4 + UDP, and Ethernet II + IPv4 + TCP for the
+//! [`crate::tcp`] state machine — so tests can round-trip them; the timing
+//! comes from the card's hardware-assisted send/recv model (Fig 6).
 
 use ipipe_nicsim::spec::NicSpec;
 use ipipe_sim::audit::AuditReport;
@@ -13,6 +14,46 @@ use ipipe_sim::SimTime;
 
 /// Ethernet(14) + IPv4(20) + UDP(8) bytes prepended to every payload.
 pub const HEADER_BYTES: usize = 42;
+
+/// Ethernet(14) + IPv4(20) + TCP(20, no options) bytes prepended to every
+/// TCP segment payload.
+pub const TCP_HEADER_BYTES: usize = 54;
+
+/// Largest UDP payload the codec can encapsulate: the IPv4 `total_len`
+/// field is 16 bits and must also cover the IPv4(20) + UDP(8) headers.
+pub const MAX_UDP_PAYLOAD: usize = u16::MAX as usize - 28;
+
+/// Largest TCP payload: `total_len` must cover IPv4(20) + TCP(20).
+pub const MAX_TCP_PAYLOAD: usize = u16::MAX as usize - 40;
+
+/// Typed failure from the header builders. The codec refuses to emit a
+/// header whose on-wire length fields cannot represent the payload — the
+/// alternative is a checksum-valid frame whose declared length silently
+/// wrapped mod 2^16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Payload exceeds what the IPv4 `total_len` field can declare.
+    PayloadTooLarge {
+        /// The offending payload length.
+        payload_len: usize,
+        /// The largest payload this encapsulation admits.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::PayloadTooLarge { payload_len, max } => write!(
+                f,
+                "payload of {payload_len} bytes exceeds the {max}-byte limit \
+                 of the 16-bit IPv4 total_len field"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 /// Parsed form of the shim headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,8 +71,16 @@ pub struct WqeHeader {
 }
 
 /// Build the 42-byte header block for a work-queue entry
-/// (`nstack_hdr_cap`).
-pub fn build_headers(h: WqeHeader) -> [u8; HEADER_BYTES] {
+/// (`nstack_hdr_cap`). Rejects payloads above [`MAX_UDP_PAYLOAD`]: adding
+/// the 28 header bytes would wrap the 16-bit `total_len`, producing a
+/// checksum-valid header that declares a tiny payload for a huge frame.
+pub fn build_headers(h: WqeHeader) -> Result<[u8; HEADER_BYTES], CodecError> {
+    if h.payload_len as usize > MAX_UDP_PAYLOAD {
+        return Err(CodecError::PayloadTooLarge {
+            payload_len: h.payload_len as usize,
+            max: MAX_UDP_PAYLOAD,
+        });
+    }
     let mut b = [0u8; HEADER_BYTES];
     // Ethernet: dst MAC 02:00:00:00:nn:nn, src MAC 02:00:00:00:mm:mm, 0x0800.
     b[0] = 0x02;
@@ -60,7 +109,22 @@ pub fn build_headers(h: WqeHeader) -> [u8; HEADER_BYTES] {
     b[34..36].copy_from_slice(&h.flow.to_be_bytes());
     b[36..38].copy_from_slice(&h.actor.to_be_bytes());
     b[38..40].copy_from_slice(&(8 + h.payload_len).to_be_bytes());
-    b
+    Ok(b)
+}
+
+/// Decode the payload length a header block declares: IPv4 `total_len`
+/// (bytes 16..18 of the frame) minus the 28 bytes of IPv4 + UDP headers.
+/// Returns `None` for slices too short to hold the field or for a
+/// `total_len` smaller than the headers themselves — without that guard the
+/// subtraction wraps in release builds and yields a ~64 KiB phantom payload.
+/// Single source of truth for the `- 28` decode shared by
+/// [`parse_headers`], [`Wqe::audit_into`] and [`Wqe::assemble`].
+pub fn declared_payload_len(b: &[u8]) -> Option<usize> {
+    if b.len() < 18 {
+        return None;
+    }
+    let total_len = u16::from_be_bytes([b[16], b[17]]) as usize;
+    total_len.checked_sub(28)
 }
 
 /// Parse and validate a header block (`nstack_get_wqe` path). Returns `None`
@@ -75,20 +139,144 @@ pub fn parse_headers(b: &[u8]) -> Option<WqeHeader> {
     if ipv4_checksum(&b[14..34]) != 0 {
         return None;
     }
-    let total_len = u16::from_be_bytes([b[16], b[17]]);
-    // A frame shorter than its own IPv4+UDP headers is garbage; without this
-    // guard `total_len - 28` wraps in release builds and yields a ~64KiB
-    // phantom payload.
-    if total_len < 28 {
-        return None;
-    }
+    let payload_len = declared_payload_len(b)?;
     Some(WqeHeader {
         src_node: u16::from_be_bytes([b[28], b[29]]),
         dst_node: u16::from_be_bytes([b[32], b[33]]),
         flow: u16::from_be_bytes([b[34], b[35]]),
         actor: u16::from_be_bytes([b[36], b[37]]),
-        payload_len: total_len - 28,
+        payload_len: payload_len as u16,
     })
+}
+
+/// Parsed form of the shim TCP headers ([`crate::tcp`] wire format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source node (packed into the MAC/IP addresses).
+    pub src_node: u16,
+    /// Destination node.
+    pub dst_node: u16,
+    /// TCP source port — the sending endpoint's actor id, so the peer can
+    /// demultiplex replies without out-of-band address exchange.
+    pub src_port: u16,
+    /// TCP destination port — the receiving endpoint's actor id.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (meaningful when [`TCP_ACK`] is set).
+    pub ack: u32,
+    /// Flag bits ([`TCP_FIN`] | [`TCP_SYN`] | [`TCP_ACK`]).
+    pub flags: u8,
+    /// Advertised receive window, in MSS-sized segments.
+    pub window: u16,
+    /// Payload length (derived from IPv4 `total_len` on parse).
+    pub payload_len: u16,
+}
+
+/// TCP FIN flag bit.
+pub const TCP_FIN: u8 = 0x01;
+/// TCP SYN flag bit.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP ACK flag bit.
+pub const TCP_ACK: u8 = 0x10;
+
+/// Build the 54-byte Ethernet + IPv4 + TCP header block. Same wrap guard as
+/// [`build_headers`]: payloads above [`MAX_TCP_PAYLOAD`] are rejected.
+pub fn build_tcp_headers(h: TcpHeader) -> Result<[u8; TCP_HEADER_BYTES], CodecError> {
+    if h.payload_len as usize > MAX_TCP_PAYLOAD {
+        return Err(CodecError::PayloadTooLarge {
+            payload_len: h.payload_len as usize,
+            max: MAX_TCP_PAYLOAD,
+        });
+    }
+    let mut b = [0u8; TCP_HEADER_BYTES];
+    b[0] = 0x02;
+    b[4..6].copy_from_slice(&h.dst_node.to_be_bytes());
+    b[6] = 0x02;
+    b[10..12].copy_from_slice(&h.src_node.to_be_bytes());
+    b[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+    // IPv4: proto 6 (TCP), total_len covers IPv4(20) + TCP(20) + payload.
+    b[14] = 0x45;
+    let total_len = 20 + 20 + h.payload_len;
+    b[16..18].copy_from_slice(&total_len.to_be_bytes());
+    b[22] = 64;
+    b[23] = 6;
+    b[26] = 10;
+    b[28..30].copy_from_slice(&h.src_node.to_be_bytes());
+    b[30] = 10;
+    b[32..34].copy_from_slice(&h.dst_node.to_be_bytes());
+    let csum = ipv4_checksum(&b[14..34]);
+    let csum = if csum == 0 { 0xFFFF } else { csum };
+    b[24..26].copy_from_slice(&csum.to_be_bytes());
+    // TCP: ports, seq/ack, data offset 5 (no options), flags, window.
+    b[34..36].copy_from_slice(&h.src_port.to_be_bytes());
+    b[36..38].copy_from_slice(&h.dst_port.to_be_bytes());
+    b[38..42].copy_from_slice(&h.seq.to_be_bytes());
+    b[42..46].copy_from_slice(&h.ack.to_be_bytes());
+    b[46] = 5 << 4;
+    b[47] = h.flags;
+    b[48..50].copy_from_slice(&h.window.to_be_bytes());
+    // TCP checksum over the pseudo-header + TCP header. The shim stack
+    // leaves the payload to the frame CRC the MAC already computes (the
+    // fault injector only damages IPv4 header bytes), so header-only
+    // coverage is what the corruption model needs.
+    let csum = tcp_checksum(&b);
+    let csum = if csum == 0 { 0xFFFF } else { csum };
+    b[50..52].copy_from_slice(&csum.to_be_bytes());
+    Ok(b)
+}
+
+/// Parse and validate a TCP header block. Returns `None` if the frame is
+/// not our TCP encapsulation or either checksum fails.
+pub fn parse_tcp_headers(b: &[u8]) -> Option<TcpHeader> {
+    if b.len() < TCP_HEADER_BYTES {
+        return None;
+    }
+    if u16::from_be_bytes([b[12], b[13]]) != 0x0800 || b[23] != 6 {
+        return None;
+    }
+    if ipv4_checksum(&b[14..34]) != 0 {
+        return None;
+    }
+    // total_len must at least cover IPv4(20) + TCP(20).
+    let total_len = u16::from_be_bytes([b[16], b[17]]) as usize;
+    let payload_len = total_len.checked_sub(40)?;
+    if tcp_checksum(b) != 0 {
+        return None;
+    }
+    Some(TcpHeader {
+        src_node: u16::from_be_bytes([b[28], b[29]]),
+        dst_node: u16::from_be_bytes([b[32], b[33]]),
+        src_port: u16::from_be_bytes([b[34], b[35]]),
+        dst_port: u16::from_be_bytes([b[36], b[37]]),
+        seq: u32::from_be_bytes([b[38], b[39], b[40], b[41]]),
+        ack: u32::from_be_bytes([b[42], b[43], b[44], b[45]]),
+        flags: b[47],
+        window: u16::from_be_bytes([b[48], b[49]]),
+        payload_len: payload_len as u16,
+    })
+}
+
+/// RFC 793 TCP checksum over the pseudo-header (src IP, dst IP, zero,
+/// proto, TCP length) and the 20 TCP header bytes. Over a header with its
+/// checksum field filled in, the result folds to 0.
+fn tcp_checksum(b: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    // Pseudo-header: src addr, dst addr words.
+    for off in [26usize, 28, 30, 32] {
+        sum += u16::from_be_bytes([b[off], b[off + 1]]) as u32;
+    }
+    // zero + proto, then TCP length (header + payload).
+    sum += 6u32;
+    let total_len = u16::from_be_bytes([b[16], b[17]]) as u32;
+    sum += total_len.saturating_sub(20);
+    for pair in b[34..54].chunks(2) {
+        sum += u16::from_be_bytes([pair[0], pair[1]]) as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
 }
 
 /// RFC 1071 Internet checksum. Over a header with its checksum field filled
@@ -111,20 +299,43 @@ pub fn ipv4_checksum(header: &[u8]) -> u16 {
 
 /// Cost for a NIC core to emit a packet through the shim stack. With
 /// scatter-gather, header and payload go out as one DMA even when built
-/// separately (I6); without it the stack pays an extra copy.
+/// separately (I6); without it the stack pays an extra copy whose speed
+/// scales with the core frequency — one byte per cycle, so the 1.2 GHz
+/// CN2350 copies slower than a synthetic 2.4 GHz DSE design.
 pub fn send_cost(spec: &NicSpec, payload: u32, scatter_gather: bool) -> SimTime {
     let base = spec.hw_send(payload + HEADER_BYTES as u32);
     if scatter_gather {
         base + SimTime::from_ns(40) // extra descriptor
     } else {
-        // Copy payload behind the header first (~1 byte/ns on a wimpy core).
-        base + SimTime::from_ns(payload as u64)
+        base + copy_cost(spec, payload)
     }
 }
 
 /// Cost for a NIC core to receive and decapsulate a packet.
 pub fn recv_cost(spec: &NicSpec, payload: u32) -> SimTime {
     spec.hw_recv(payload + HEADER_BYTES as u32)
+}
+
+/// Cost to emit a TCP segment (same hardware model, 54-byte headers).
+pub fn tcp_send_cost(spec: &NicSpec, payload: u32, scatter_gather: bool) -> SimTime {
+    let base = spec.hw_send(payload + TCP_HEADER_BYTES as u32);
+    if scatter_gather {
+        base + SimTime::from_ns(40)
+    } else {
+        base + copy_cost(spec, payload)
+    }
+}
+
+/// Cost to receive and decapsulate a TCP segment.
+pub fn tcp_recv_cost(spec: &NicSpec, payload: u32) -> SimTime {
+    spec.hw_recv(payload + TCP_HEADER_BYTES as u32)
+}
+
+/// The no-scatter-gather copy surcharge: one byte per core cycle. Charging
+/// a flat 1 byte/ns would pin the copy to an implicit 1 GHz core and make
+/// the DSE frequency axis lie for the copy path.
+fn copy_cost(spec: &NicSpec, payload: u32) -> SimTime {
+    spec.cycles(payload as u64)
 }
 
 /// A work-queue entry under assembly (`nstack_new_wqe`): header block plus a
@@ -142,10 +353,11 @@ impl Wqe {
         Wqe::default()
     }
 
-    /// Attach the shim headers (`nstack_hdr_cap`).
-    pub fn set_header(&mut self, h: WqeHeader) -> &mut Self {
-        self.header = Some(build_headers(h));
-        self
+    /// Attach the shim headers (`nstack_hdr_cap`). Fails if the declared
+    /// payload cannot be represented on the wire.
+    pub fn set_header(&mut self, h: WqeHeader) -> Result<&mut Self, CodecError> {
+        self.header = Some(build_headers(h)?);
+        Ok(self)
     }
 
     /// Append a payload segment (no copy until transmit).
@@ -171,13 +383,11 @@ impl Wqe {
     /// a real PKO. Exposed as an audit check so embedders can sweep staged
     /// WQEs at quiesce the same way the cluster audit sweeps its rings.
     pub fn audit_into(&self, r: &mut AuditReport, node: u16) {
-        let declared = self
-            .header
-            .map(|h| u16::from_be_bytes([h[16], h[17]]) as usize - 28);
+        let declared = self.header.as_ref().map(|h| declared_payload_len(h));
         r.check(
             "nstack.wqe.len",
             node,
-            declared.is_none_or(|d| d == self.payload_len()),
+            declared.is_none_or(|d| d == Some(self.payload_len())),
             || {
                 format!(
                     "header declares {:?} payload bytes but segments hold {}",
@@ -193,7 +403,7 @@ impl Wqe {
     /// segments.
     pub fn assemble(&self) -> Result<Vec<u8>, &'static str> {
         let header = self.header.ok_or("wqe has no header")?;
-        let declared = u16::from_be_bytes([header[16], header[17]]) as usize - 28;
+        let declared = declared_payload_len(&header).ok_or("header declares undersized frame")?;
         if declared != self.payload_len() {
             return Err("header payload_len disagrees with segments");
         }
@@ -220,7 +430,8 @@ mod tests {
             flow: 5,
             actor: 9,
             payload_len: 11,
-        });
+        })
+        .unwrap();
         w.push_segment(b"hello ".to_vec());
         w.push_segment(b"world".to_vec());
         assert_eq!(w.descriptors(), 3);
@@ -244,7 +455,8 @@ mod tests {
             flow: 0,
             actor: 0,
             payload_len: 4,
-        });
+        })
+        .unwrap();
         w.push_segment(b"toolong".to_vec());
         assert!(w.assemble().is_err());
     }
@@ -263,7 +475,8 @@ mod tests {
             flow: 0,
             actor: 0,
             payload_len: 4,
-        });
+        })
+        .unwrap();
         w.push_segment(b"1234".to_vec());
         let mut r = AuditReport::new(SimTime::ZERO);
         w.audit_into(&mut r, 0);
@@ -286,8 +499,65 @@ mod tests {
             actor: 42,
             payload_len: 470,
         };
-        let bytes = build_headers(h);
+        let bytes = build_headers(h).unwrap();
         assert_eq!(parse_headers(&bytes), Some(h));
+    }
+
+    /// Pinned regression: payload_len near u16::MAX used to wrap `total_len
+    /// = 20 + 8 + payload_len` mod 2^16, emitting a checksum-valid header
+    /// that declared a tiny payload for a huge frame; `Wqe::assemble`'s
+    /// `- 28` decode then underflowed. The codec must refuse, with a typed
+    /// error, exactly above the last representable payload.
+    #[test]
+    fn oversized_payload_rejected_at_wrap_boundary() {
+        let hdr = |payload_len| WqeHeader {
+            src_node: 1,
+            dst_node: 2,
+            flow: 3,
+            actor: 4,
+            payload_len,
+        };
+        // 65507 + 28 == 65535: the last payload total_len can declare.
+        let max = MAX_UDP_PAYLOAD as u16;
+        let bytes = build_headers(hdr(max)).unwrap();
+        let parsed = parse_headers(&bytes).unwrap();
+        assert_eq!(parsed.payload_len, max, "boundary payload round-trips");
+
+        // One past the boundary used to wrap to total_len == 0.
+        for p in [max + 1, u16::MAX] {
+            assert_eq!(
+                build_headers(hdr(p)),
+                Err(CodecError::PayloadTooLarge {
+                    payload_len: p as usize,
+                    max: MAX_UDP_PAYLOAD,
+                }),
+                "payload {p} must be rejected, not wrapped"
+            );
+            assert!(Wqe::new().set_header(hdr(p)).is_err());
+        }
+        let msg = CodecError::PayloadTooLarge {
+            payload_len: 65508,
+            max: MAX_UDP_PAYLOAD,
+        }
+        .to_string();
+        assert!(msg.contains("65508") && msg.contains("65507"));
+    }
+
+    #[test]
+    fn declared_payload_len_matches_parse() {
+        let bytes = build_headers(WqeHeader {
+            src_node: 0,
+            dst_node: 1,
+            flow: 2,
+            actor: 3,
+            payload_len: 470,
+        })
+        .unwrap();
+        assert_eq!(declared_payload_len(&bytes), Some(470));
+        assert_eq!(declared_payload_len(&bytes[..17]), None, "too short");
+        let mut b = bytes;
+        b[16..18].copy_from_slice(&5u16.to_be_bytes());
+        assert_eq!(declared_payload_len(&b), None, "total_len < 28 is garbage");
     }
 
     #[test]
@@ -299,7 +569,7 @@ mod tests {
             actor: 9,
             payload_len: 100,
         };
-        let mut bytes = build_headers(h);
+        let mut bytes = build_headers(h).unwrap();
         assert_eq!(ipv4_checksum(&bytes[14..34]), 0);
         bytes[30] ^= 0x40; // corrupt dst IP
         assert_eq!(parse_headers(&bytes), None);
@@ -313,7 +583,8 @@ mod tests {
             flow: 0,
             actor: 0,
             payload_len: 0,
-        });
+        })
+        .unwrap();
         bytes[12] = 0x86; // not IPv4 ethertype
         assert_eq!(parse_headers(&bytes), None);
         assert_eq!(parse_headers(&bytes[..10]), None);
@@ -334,7 +605,7 @@ mod tests {
             actor: 3,
             payload_len: 0,
         };
-        let bytes = build_headers(h);
+        let bytes = build_headers(h).unwrap();
         assert_eq!(
             u16::from_be_bytes([bytes[24], bytes[25]]),
             0xFFFF,
@@ -356,7 +627,8 @@ mod tests {
             flow: 0x1234,
             actor: 8,
             payload_len: 300,
-        });
+        })
+        .unwrap();
         for off in 14..34 {
             for bit in 0..8u8 {
                 let mut b = good;
@@ -374,7 +646,8 @@ mod tests {
             flow: 1,
             actor: 1,
             payload_len: 64,
-        });
+        })
+        .unwrap();
         for cut in [0, 1, 13, 14, 33, 41] {
             assert_eq!(parse_headers(&good[..cut]), None, "cut={cut}");
         }
@@ -404,6 +677,135 @@ mod tests {
         assert!(sg < copy);
         // Both exceed the bare hardware send of the combined frame.
         assert!(sg > CN2350.hw_send(1024 + HEADER_BYTES as u32) - SimTime::from_ns(1));
+    }
+
+    /// Pinned regression: the copy path used to charge a flat 1 byte/ns no
+    /// matter the core frequency, so the DSE frequency axis scaled every
+    /// per-packet cost except this one. A 2x-frequency design must pay half
+    /// the copy surcharge.
+    #[test]
+    fn copy_surcharge_scales_with_core_frequency() {
+        let fast = NicSpec {
+            freq_ghz: CN2350.freq_ghz * 2.0,
+            ..CN2350
+        };
+        let payload = 4096u32;
+        let surcharge = |spec: &NicSpec| {
+            (send_cost(spec, payload, false) - spec.hw_send(payload + HEADER_BYTES as u32)).as_ns()
+        };
+        let slow_ns = surcharge(&CN2350);
+        let fast_ns = surcharge(&fast);
+        // 4096 B at 1.2 GHz is 3413 ns; at 2.4 GHz it is 1707 ns.
+        assert!(slow_ns > 0, "copy surcharge must be nonzero");
+        assert!(
+            (slow_ns as i64 - 2 * fast_ns as i64).abs() <= 1,
+            "2x frequency must halve the copy surcharge: {slow_ns} vs {fast_ns}"
+        );
+        // And the flat-rate model is pinned out: 1 byte/ns would be 4096 ns.
+        assert_ne!(slow_ns, payload as u64, "copy cost must track freq_ghz");
+    }
+
+    #[test]
+    fn tcp_header_roundtrip() {
+        let h = TcpHeader {
+            src_node: 3,
+            dst_node: 7,
+            src_port: 11,
+            dst_port: 22,
+            seq: 0xDEAD_BEEF,
+            ack: 0x0102_0304,
+            flags: TCP_ACK,
+            window: 32,
+            payload_len: 1460,
+        };
+        let bytes = build_tcp_headers(h).unwrap();
+        assert_eq!(parse_tcp_headers(&bytes), Some(h));
+        // A UDP parse must not accept a TCP frame and vice versa.
+        assert_eq!(parse_headers(&bytes), None);
+    }
+
+    #[test]
+    fn tcp_header_flags_roundtrip() {
+        for flags in [TCP_SYN, TCP_SYN | TCP_ACK, TCP_ACK, TCP_FIN | TCP_ACK] {
+            let h = TcpHeader {
+                src_node: 1,
+                dst_node: 2,
+                src_port: 5,
+                dst_port: 6,
+                seq: 9,
+                ack: 10,
+                flags,
+                window: 4,
+                payload_len: 0,
+            };
+            let bytes = build_tcp_headers(h).unwrap();
+            assert_eq!(parse_tcp_headers(&bytes).unwrap().flags, flags);
+        }
+    }
+
+    #[test]
+    fn tcp_oversized_payload_rejected_at_wrap_boundary() {
+        let hdr = |payload_len| TcpHeader {
+            src_node: 1,
+            dst_node: 2,
+            src_port: 3,
+            dst_port: 4,
+            seq: 0,
+            ack: 0,
+            flags: TCP_ACK,
+            window: 1,
+            payload_len,
+        };
+        let max = MAX_TCP_PAYLOAD as u16;
+        let ok = build_tcp_headers(hdr(max)).unwrap();
+        assert_eq!(parse_tcp_headers(&ok).unwrap().payload_len, max);
+        assert_eq!(
+            build_tcp_headers(hdr(max + 1)),
+            Err(CodecError::PayloadTooLarge {
+                payload_len: max as usize + 1,
+                max: MAX_TCP_PAYLOAD,
+            })
+        );
+    }
+
+    #[test]
+    fn tcp_single_byte_header_flips_rejected() {
+        let good = build_tcp_headers(TcpHeader {
+            src_node: 2,
+            dst_node: 5,
+            src_port: 9,
+            dst_port: 4,
+            seq: 77,
+            ack: 33,
+            flags: TCP_ACK,
+            window: 8,
+            payload_len: 512,
+        })
+        .unwrap();
+        // IPv4 header flips break the IPv4 checksum; TCP header flips break
+        // the TCP checksum.
+        for off in 14..54 {
+            for bit in 0..8u8 {
+                let mut b = good;
+                b[off] ^= 1 << bit;
+                assert_eq!(
+                    parse_tcp_headers(&b),
+                    None,
+                    "flip at byte {off} bit {bit} must be rejected"
+                );
+            }
+        }
+        for cut in [0, 13, 41, 53] {
+            assert_eq!(parse_tcp_headers(&good[..cut]), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn tcp_costs_track_udp_model() {
+        assert!(tcp_send_cost(&CN2350, 1024, true) < tcp_send_cost(&CN2350, 1024, false));
+        assert!(tcp_recv_cost(&CN2350, 256) > CN2350.hw_send(256 + TCP_HEADER_BYTES as u32));
+        // TCP frames carry 12 more header bytes than UDP frames.
+        assert!(tcp_send_cost(&CN2350, 100, true) >= send_cost(&CN2350, 100, true));
     }
 
     #[test]

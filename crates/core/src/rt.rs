@@ -1982,12 +1982,13 @@ impl ShardState {
     /// before core dispatch, so no scheduler work is generated.
     fn handle_deliver_corrupt(&mut self, node: u16, src: u16, wire_size: u32, flip: u8) {
         self.rx_frames += 1;
-        // A frame longer than the 16-bit header length field can describe
-        // is rejected before the codec runs — silently clamping the length
-        // would mislabel jumbo damage as an in-range frame with a bad
-        // checksum. The frame is still accounted as processed (`rx_frames`)
-        // and as a rejection, with its own reason counter.
-        if wire_size > u16::MAX as u32 {
+        // A frame longer than the codec's payload ceiling (total_len is 16
+        // bits and must also cover the 28 IPv4+UDP header bytes) is rejected
+        // before the codec runs — silently clamping the length would
+        // mislabel jumbo damage as an in-range frame with a bad checksum.
+        // The frame is still accounted as processed (`rx_frames`) and as a
+        // rejection, with its own reason counter.
+        if wire_size as usize > crate::nstack::MAX_UDP_PAYLOAD {
             self.fault_metrics.oversize_rejected.inc();
             self.fault_metrics.corrupt_rejected.inc();
             return;
@@ -1998,7 +1999,8 @@ impl ShardState {
             flow: 0,
             actor: 0,
             payload_len: wire_size as u16,
-        });
+        })
+        .expect("payload_len <= MAX_UDP_PAYLOAD was just checked");
         let mut damaged = hdr;
         damaged[14 + flip as usize] ^= 0xFF;
         debug_assert!(

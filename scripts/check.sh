@@ -18,9 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Hard perf-regression gates: desbench wheel throughput vs BENCH_des.json,
 # the planetary scale scenario's events/s vs BENCH_scale.json, the
-# overload spike scenario's events/s vs BENCH_overload.json, and the full
+# overload spike scenario's events/s vs BENCH_overload.json, the
+# tcp-offload scenario's events/s vs BENCH_tcp.json, and the full
 # design-space grid's cells/s vs BENCH_dse.json.
-echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json, BENCH_overload.json, BENCH_dse.json)"
+echo "==> perf gates (baselines BENCH_des.json, BENCH_scale.json, BENCH_overload.json, BENCH_tcp.json, BENCH_dse.json)"
 ./scripts/perf_gate.sh
 
 # Sharded-DES determinism: two same-seed 8-shard pod runs must write
@@ -73,6 +74,28 @@ echo "rkv-overload exports are byte-identical (same seed twice, 1 vs 4 shards)"
 # Shed-conservation property sweep (mirrors the CI overload-smoke job).
 echo "==> shed-conservation proptests"
 cargo test -q --release --test properties overload_shed
+
+# TCP offload smoke (mirrors the CI tcp-smoke job): the tcp-offload
+# scenario must run audit-clean (byte conservation + exactly-once in-order
+# delivery), two same-seed runs must export byte-identically, and the
+# serial run must match the 4-shard one.
+echo "==> tcp-offload smoke (determinism + shard invariance)"
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario tcp-offload --seed 11 --out /tmp/tcp_a > /tmp/tcp_summary_a.txt
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario tcp-offload --seed 11 --out /tmp/tcp_b > /tmp/tcp_summary_b.txt
+diff -u /tmp/tcp_summary_a.txt /tmp/tcp_summary_b.txt
+diff -r /tmp/tcp_a /tmp/tcp_b
+cargo run --release -q -p ipipe-bench --bin traceview -- \
+    --scenario tcp-offload --seed 11 --shards 4 \
+    --out /tmp/tcp_sharded > /tmp/tcp_summary_sharded.txt
+diff -u /tmp/tcp_summary_a.txt /tmp/tcp_summary_sharded.txt
+diff -r /tmp/tcp_a /tmp/tcp_sharded
+echo "tcp-offload exports are byte-identical (same seed twice, 1 vs 4 shards)"
+
+# TCP delivery property sweep (mirrors the CI tcp-smoke job).
+echo "==> tcp exactly-once delivery proptests"
+cargo test -q --release --test properties tcp_delivery
 
 # DSE smoke (mirrors the CI dse-smoke job): the 16-design smoke grid's
 # canonical export must be byte-identical between a serial run and a

@@ -5,6 +5,7 @@
 #   * desbench   — timing-wheel microbenchmark events/s vs BENCH_des.json
 #   * scalebench — planetary rkv-scale scenario events/s vs BENCH_scale.json
 #   * shedbench  — rkv-overload spike scenario events/s vs BENCH_overload.json
+#   * tcpbench   — tcp-offload scenario events/s vs BENCH_tcp.json
 #   * dse        — full design-space grid cells/s vs BENCH_dse.json
 #
 # The baselines are machine-dependent; regenerate them on the reference
@@ -12,6 +13,7 @@
 #   cargo run --release -p ipipe-bench --bin desbench   > BENCH_des.json
 #   cargo run --release -p ipipe-bench --bin scalebench > BENCH_scale.json
 #   cargo run --release -p ipipe-bench --bin shedbench  > BENCH_overload.json
+#   cargo run --release -p ipipe-bench --bin tcpbench   > BENCH_tcp.json
 #   cargo run --release -p ipipe-bench --bin dse        > BENCH_dse.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,6 +52,10 @@ gate "scale" "scale" BENCH_scale.json "$out"
 out=$(cargo run --release -q -p ipipe-bench --bin shedbench)
 echo "$out"
 gate "overload" "overload" BENCH_overload.json "$out"
+
+out=$(cargo run --release -q -p ipipe-bench --bin tcpbench)
+echo "$out"
+gate "tcp" "tcp" BENCH_tcp.json "$out"
 
 out=$(cargo run --release -q -p ipipe-bench --bin dse)
 echo "$out"

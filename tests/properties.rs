@@ -989,3 +989,94 @@ proptest! {
         prop_assert_eq!(export_n, export1, "canonical export diverged under {} shards", shards);
     }
 }
+
+/// One TCP-offload transfer on a 2-server cluster: returns the quiesce
+/// ledger (delivered, mismatched, retx, rto), whether the merged audit —
+/// cluster conservation plus the TCP slice (`sent == acked + in-flight +
+/// lost-pending-rto`, exactly-once in-order delivery) — came out clean,
+/// the report text, and the canonical export for shard diffing.
+#[allow(clippy::too_many_arguments)]
+fn tcp_transfer_run(
+    seed: u64,
+    shards: usize,
+    total_bytes: u64,
+    loss: f64,
+    mss: u32,
+    cwnd_cap_segs: u32,
+) -> ((u64, u64, u64, u64), bool, String, String) {
+    use ipipe_repro::ipipe::rt::{Cluster, Placement};
+    use ipipe_repro::ipipe::tcp::{audit_tcp_into, deploy_tcp_pair, TcpCfg};
+    use ipipe_repro::netsim::FaultPlan;
+
+    let mut cfg = TcpCfg::lan(total_bytes, seed ^ 0x5EED);
+    cfg.mss = mss;
+    cfg.cwnd_cap_segs = cwnd_cap_segs;
+    cfg.init_cwnd_segs = cfg.init_cwnd_segs.min(cwnd_cap_segs);
+    let mut c = Cluster::builder(CN2350)
+        .servers(2)
+        .clients(1)
+        .seed(seed)
+        .shards(shards)
+        .build();
+    if loss > 0.0 {
+        c.set_fault_plan(FaultPlan::new(seed ^ 0x10_55).with_loss(loss));
+    }
+    let ep = deploy_tcp_pair(&mut c, cfg, 0, 1, 1, Placement::Nic);
+    for _ in 0..400 {
+        c.run_for(SimTime::from_ms(1));
+        if ep.tx.closed.get() == 1 {
+            break;
+        }
+    }
+    c.run_for(cfg.rto_max + cfg.rto_max); // burn off stale timers
+    let mut r = c.audit();
+    audit_tcp_into(&mut r, &ep);
+    (
+        (
+            ep.rx.delivered_bytes.get(),
+            ep.rx.mismatched_bytes.get(),
+            ep.tx.retx_segs.get(),
+            ep.tx.rto_fired.get(),
+        ),
+        r.is_clean(),
+        format!("{r:?}"),
+        c.export_canonical_jsonl(),
+    )
+}
+
+// TCP-offload properties: whole-cluster transfers, small case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Exactly-once in-order TCP delivery under randomized seeds, loss
+    /// rates (up to 10%), MSS and congestion-window caps: the stream
+    /// always arrives complete and byte-correct, the conservation audit
+    /// (`sent == acked + in-flight + lost-pending-rto`) is clean at
+    /// quiesce, and a sharded run byte-matches the serial reference.
+    #[test]
+    fn tcp_delivery_is_exactly_once_in_order(
+        seed in any::<u64>(),
+        total_kb in 8u64..64,
+        loss_pct in 0u32..11,
+        mss in 256u32..1461,
+        cwnd_cap in 2u32..33,
+        shards in 2usize..5,
+    ) {
+        let total = total_kb << 10;
+        let loss = loss_pct as f64 / 100.0;
+        let (ledger1, clean1, report1, export1) =
+            tcp_transfer_run(seed, 1, total, loss, mss, cwnd_cap);
+        let (delivered, mismatched, retx, _rto) = ledger1;
+        prop_assert!(clean1, "serial audit dirty:\n{}", report1);
+        prop_assert_eq!(delivered, total, "stream must arrive complete, exactly once");
+        prop_assert_eq!(mismatched, 0, "delivered bytes must match the reference stream");
+        if loss_pct == 0 {
+            prop_assert_eq!(retx, 0, "lossless transfers must not retransmit");
+        }
+        let (ledger_n, clean_n, report_n, export_n) =
+            tcp_transfer_run(seed, shards, total, loss, mss, cwnd_cap);
+        prop_assert!(clean_n, "{}-shard audit dirty:\n{}", shards, report_n);
+        prop_assert_eq!(ledger_n, ledger1, "tcp ledger diverged under {} shards", shards);
+        prop_assert_eq!(export_n, export1, "canonical export diverged under {} shards", shards);
+    }
+}
